@@ -1,0 +1,129 @@
+// Command regress is the batch regression tool of the flow (the paper's GUI
+// tool, CLI-ified): it loads node configurations from parameter files (or
+// generates the standard matrix), runs the generic test suite on both the
+// RTL and the BCA view with the same seeds, emits verification, coverage and
+// alignment reports, and optionally writes the VCD dumps used by the
+// bus-accurate comparison.
+//
+// Usage:
+//
+//	regress -matrix                    # run the >=36-configuration matrix
+//	regress -config ./configs          # run every .cfg file in a directory
+//	regress -config ./configs -tests basic_write_read,error_paths -seeds 1,2,3
+//	regress -matrix -quick -out ./out  # fast slice, write reports and VCDs
+//	regress -emit ./configs            # materialise the matrix as .cfg files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"crve/internal/core"
+	"crve/internal/nodespec"
+	"crve/internal/regress"
+	"crve/internal/testcases"
+)
+
+func main() {
+	var (
+		configDir = flag.String("config", "", "directory of .cfg parameter files")
+		matrix    = flag.Bool("matrix", false, "use the standard >=36-configuration matrix")
+		quick     = flag.Bool("quick", false, "with -matrix: run only the first 6 configurations")
+		testsArg  = flag.String("tests", "", "comma-separated test names (default: all 12)")
+		seedsArg  = flag.String("seeds", "1", "comma-separated seeds")
+		outDir    = flag.String("out", "", "directory for reports and VCD dumps")
+		emitDir   = flag.String("emit", "", "write the standard matrix as .cfg files and exit")
+		verbose   = flag.Bool("v", false, "log each run")
+	)
+	flag.Parse()
+	if err := run(*configDir, *matrix, *quick, *testsArg, *seedsArg, *outDir, *emitDir, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "regress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitDir string, verbose bool) error {
+	if emitDir != "" {
+		if err := os.MkdirAll(emitDir, 0o755); err != nil {
+			return err
+		}
+		for _, cfg := range regress.StandardMatrix() {
+			path := filepath.Join(emitDir, cfg.Name+".cfg")
+			if err := os.WriteFile(path, []byte(regress.FormatConfig(cfg)), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d configuration files to %s\n", len(regress.StandardMatrix()), emitDir)
+		return nil
+	}
+
+	var cfgs []nodespec.Config
+	switch {
+	case configDir != "":
+		var err error
+		cfgs, err = regress.LoadConfigDir(configDir)
+		if err != nil {
+			return err
+		}
+	case matrix:
+		cfgs = regress.StandardMatrix()
+		if quick {
+			cfgs = cfgs[:6]
+		}
+	default:
+		return fmt.Errorf("pass -config DIR or -matrix (see -h)")
+	}
+
+	var tests []core.Test
+	if testsArg == "" {
+		tests = testcases.All()
+	} else {
+		for _, name := range strings.Split(testsArg, ",") {
+			tc, err := testcases.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			tests = append(tests, tc)
+		}
+	}
+	var seeds []int64
+	for _, s := range strings.Split(seedsArg, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", s)
+		}
+		seeds = append(seeds, v)
+	}
+
+	opt := regress.Options{Tests: tests, Seeds: seeds}
+	if verbose {
+		opt.Log = os.Stdout
+	}
+	results, err := regress.RunMatrix(cfgs, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(regress.MatrixReport(results))
+	signed := 0
+	for _, cr := range results {
+		if cr.SignedOff() {
+			signed++
+		}
+	}
+	fmt.Printf("signed off: %d/%d configurations\n", signed, len(results))
+
+	if outDir != "" {
+		if err := regress.WriteReports(outDir, results); err != nil {
+			return err
+		}
+		fmt.Printf("reports written to %s\n", outDir)
+	}
+	if signed != len(results) {
+		return fmt.Errorf("%d configuration(s) failed sign-off", len(results)-signed)
+	}
+	return nil
+}

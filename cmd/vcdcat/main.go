@@ -1,0 +1,78 @@
+// Command vcdcat inspects a VCD waveform dump: it lists the declared
+// variables or prints cycle-sampled values of selected signals, which is
+// handy when debugging an alignment divergence the analyzer reported.
+//
+// Usage:
+//
+//	vcdcat dump.vcd                         # list variables
+//	vcdcat -sig node.init0.req,node.init0.gnt -from 40 -to 60 dump.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crve/internal/vcd"
+)
+
+func main() {
+	var (
+		sigs = flag.String("sig", "", "comma-separated signal names to print per cycle")
+		from = flag.Uint64("from", 0, "first cycle to print")
+		to   = flag.Uint64("to", 0, "last cycle to print (0 = end of dump)")
+	)
+	flag.Parse()
+	if err := run(*sigs, *from, *to, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "vcdcat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sigs string, from, to uint64, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: vcdcat [flags] dump.vcd")
+	}
+	fh, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	f, err := vcd.Parse(fh)
+	if err != nil {
+		return err
+	}
+	if sigs == "" {
+		fmt.Printf("top module %q, %d variables, %d cycles\n", f.TopModule, len(f.Vars), f.Cycles())
+		for _, v := range f.Vars {
+			fmt.Printf("  %-40s %3d bits\n", v.Name, v.Width)
+		}
+		return nil
+	}
+	var idx []int
+	names := strings.Split(sigs, ",")
+	for _, n := range names {
+		i := f.VarIndex(strings.TrimSpace(n))
+		if i < 0 {
+			return fmt.Errorf("no signal %q in dump", n)
+		}
+		idx = append(idx, i)
+	}
+	if to == 0 || to >= f.Cycles() {
+		to = f.Cycles() - 1
+	}
+	fmt.Printf("%8s", "cycle")
+	for _, i := range idx {
+		fmt.Printf(" %20s", f.Vars[i].Name)
+	}
+	fmt.Println()
+	for cyc := from; cyc <= to; cyc++ {
+		fmt.Printf("%8d", cyc)
+		for _, i := range idx {
+			fmt.Printf(" %20s", f.ValueAt(i, cyc*vcd.TimePerCycle))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package crve is a reproduction of "Common Reusable Verification
+// Environment for BCA and RTL Models" (Falconeri, Naifer, Romdhane;
+// STMicroelectronics OCCS; DATE 2004/2005): one verification environment —
+// constrained-random harnesses, monitors, protocol checkers, scoreboard and
+// functional coverage — applied unchanged to two independently implemented
+// views of an STBus node (a signal-level RTL model and a bus-cycle-accurate
+// transaction model), followed by a per-port bus-accurate waveform
+// comparison with a 99 % alignment sign-off.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); runnable entry points are the binaries under cmd/ and the programs
+// under examples/. The benchmarks in bench_test.go regenerate the paper's
+// evaluation (EXPERIMENTS.md records paper-vs-measured).
+package crve

@@ -1,0 +1,3 @@
+module crve
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package arb implements the six STBus node arbitration policies the paper
+// names (Section 3: "bandwidth limitation, latency arbitration, LRU,
+// priority-based arbitration and others"; Section 5: "the Node supports 6
+// arbitration types").
+//
+// A Policy is pure sequential logic: Pick is a side-effect-free decision
+// from the current state and the per-cycle request vector, and Tick advances
+// the state once per cycle given the granted winner. The RTL view calls Pick
+// from a combinational process and Tick from a clocked one; the BCA view
+// calls both from its per-cycle transaction loop. Because the decision logic
+// is deterministic, the two views arbitrate identically whenever they present
+// identical request vectors — the property the paper's cycle-alignment
+// sign-off (≥99 % per port) relies on.
+package arb
+
+import "fmt"
+
+// Kind enumerates the supported arbitration policies.
+type Kind int
+
+const (
+	// Priority grants the requester with the highest static priority.
+	Priority Kind = iota
+	// RoundRobin rotates a grant pointer over the requesters.
+	RoundRobin
+	// LRU grants the least-recently-used requester.
+	LRU
+	// Latency grants the requester with the least slack against its
+	// configured maximum-latency budget.
+	Latency
+	// Bandwidth enforces per-requester bandwidth shares over a window.
+	Bandwidth
+	// Programmable is a priority arbiter whose priorities are runtime
+	// registers, written through the node's programming port.
+	Programmable
+	numKinds
+)
+
+// Kinds lists every policy, in a stable order, for configuration sweeps.
+var Kinds = []Kind{Priority, RoundRobin, LRU, Latency, Bandwidth, Programmable}
+
+func (k Kind) String() string {
+	switch k {
+	case Priority:
+		return "priority"
+	case RoundRobin:
+		return "roundrobin"
+	case LRU:
+		return "lru"
+	case Latency:
+		return "latency"
+	case Bandwidth:
+		return "bandwidth"
+	case Programmable:
+		return "programmable"
+	default:
+		return fmt.Sprintf("arb?%d", int(k))
+	}
+}
+
+// ParseKind parses a policy name as written in regression configuration
+// files.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("arb: unknown arbitration %q", s)
+}
+
+// Input is the per-cycle arbitration input: which ports request, and the
+// request-priority field each drives (used by dynamic priority arbitration).
+type Input struct {
+	Req []bool
+	Pri []uint8
+}
+
+// Policy is one arbitration algorithm instance, sized for a fixed number of
+// requesters.
+type Policy interface {
+	// Name returns the policy kind name.
+	Name() string
+	// Pick returns the index of the winning requester, or -1 if none
+	// requests. Pick must not mutate state.
+	Pick(in Input) int
+	// Tick advances internal state at the end of a cycle. winner is the
+	// index actually granted this cycle (-1 for none); it need not equal
+	// Pick's result (e.g. a shared-bus node may suppress the grant).
+	Tick(in Input, winner int)
+	// Reset restores the power-on state.
+	Reset()
+}
+
+// New builds a policy of the given kind for n requesters with default
+// parameters: descending static priorities (port 0 highest), latency budgets
+// of 16 cycles, bandwidth shares of 4 beats per 16-cycle window.
+func New(kind Kind, n int) Policy {
+	switch kind {
+	case Priority:
+		prios := make([]uint8, n)
+		for i := range prios {
+			prios[i] = uint8(n - i)
+		}
+		return NewFixedPriority(prios, false)
+	case RoundRobin:
+		return NewRoundRobin(n)
+	case LRU:
+		return NewLRU(n)
+	case Latency:
+		lim := make([]uint32, n)
+		for i := range lim {
+			lim[i] = 16
+		}
+		return NewLatency(lim)
+	case Bandwidth:
+		shares := make([]uint32, n)
+		for i := range shares {
+			shares[i] = 4
+		}
+		return NewBandwidth(shares, 16)
+	case Programmable:
+		prios := make([]uint8, n)
+		for i := range prios {
+			prios[i] = uint8(n - i)
+		}
+		return NewProgrammable(prios)
+	default:
+		panic(fmt.Sprintf("arb: bad kind %d", int(kind)))
+	}
+}

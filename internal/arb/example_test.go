@@ -1,0 +1,33 @@
+package arb_test
+
+import (
+	"fmt"
+
+	"crve/internal/arb"
+)
+
+// ExampleNewRoundRobin shows the rotating grant pointer under full
+// contention.
+func ExampleNewRoundRobin() {
+	p := arb.NewRoundRobin(3)
+	in := arb.Input{Req: []bool{true, true, true}}
+	for i := 0; i < 5; i++ {
+		w := p.Pick(in)
+		fmt.Print(w, " ")
+		p.Tick(in, w)
+	}
+	// Output: 0 1 2 0 1
+}
+
+// ExampleProgrammablePolicy reprograms a priority register mid-flight, as
+// the node's programming port does.
+func ExampleProgrammablePolicy() {
+	p := arb.NewProgrammable([]uint8{9, 1})
+	in := arb.Input{Req: []bool{true, true}}
+	fmt.Println("before:", p.Pick(in))
+	_ = p.SetPriority(1, 15)
+	fmt.Println("after: ", p.Pick(in))
+	// Output:
+	// before: 0
+	// after:  1
+}

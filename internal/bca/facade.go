@@ -1,0 +1,39 @@
+package bca
+
+import (
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// Engine exposes the transaction-level node model for direct integration —
+// the "ports approach" of the paper's future work (internal/tlm). The
+// wrapped Node and the standalone runner are built on the same engine.
+type Engine struct {
+	e *engine
+}
+
+// NewEngine builds a transaction-level node model.
+func NewEngine(cfg nodespec.Config, bugs Bugs) (*Engine, error) {
+	e, err := newEngine(cfg, bugs)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// Plan computes the cycle's grants from the settled inputs (pure; callable
+// repeatedly until inputs settle).
+func (en *Engine) Plan(in *Inputs) { en.e.Plan(in) }
+
+// Commit advances the model by one clock edge; reqCell/respCell fetch the
+// payloads of the transfers the final Plan granted.
+func (en *Engine) Commit(in *Inputs, reqCell func(i int) stbus.Cell, respCell func(t int) stbus.RespCell) {
+	en.e.Commit(in, reqCell, respCell)
+}
+
+// Out returns the engine's live output record: grants from the last Plan and
+// registered drives from the last Commit.
+func (en *Engine) Out() *Outputs { return &en.e.out }
+
+// Inflight returns the outstanding-packet count of initiator i.
+func (en *Engine) Inflight(i int) int { return en.e.Inflight(i) }

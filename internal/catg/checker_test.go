@@ -1,0 +1,220 @@
+package catg
+
+import (
+	"testing"
+
+	"crve/internal/nodespec"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+
+// scriptStep fully specifies one cycle at a port, both directions — the test
+// plays DUT and harness at once to hit checker rules precisely.
+type scriptStep struct {
+	req, gnt   bool
+	cell       stbus.Cell
+	rreq, rgnt bool
+	resp       stbus.RespCell
+}
+
+// runScript replays steps on a fresh port with a checker attached.
+func runScript(t *testing.T, cfg nodespec.Config, initiatorSide bool, steps []scriptStep) *Checker {
+	t.Helper()
+	sm := sim.New()
+	p := stbus.NewPort(sim.Root(sm), "p", cfg.Port)
+	var route RouteFunc
+	if initiatorSide {
+		route = NodeRouter(cfg, 0)
+	}
+	ck := NewChecker(sm, p, cfg, initiatorSide, route)
+	idx := 0
+	sm.Seq("script", func() {
+		if idx >= len(steps) {
+			p.IdleReq()
+			p.IdleResp()
+			p.Gnt.SetBool(false)
+			p.RGnt.SetBool(false)
+			return
+		}
+		s := steps[idx]
+		idx++
+		if s.req {
+			p.DriveCell(s.cell)
+		} else {
+			p.IdleReq()
+		}
+		p.Gnt.SetBool(s.gnt)
+		if s.rreq {
+			p.DriveResp(s.resp)
+		} else {
+			p.IdleResp()
+		}
+		p.RGnt.SetBool(s.rgnt)
+	})
+	if err := sm.Run(len(steps) + 3); err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+func hasRule(ck *Checker, rule string) bool {
+	for _, v := range ck.Violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func ld4Cell(addr uint64, tid uint8) stbus.Cell {
+	return stbus.Cell{Opc: stbus.LD4, Addr: addr, BE: 0xf, EOP: true, TID: tid}
+}
+
+func okResp(tid uint8) stbus.RespCell {
+	return stbus.RespCell{ROpc: stbus.RespData, EOP: true, TID: tid}
+}
+
+func TestCheckerT1SingleOutstanding(t *testing.T) {
+	cfg := nodeCfg(1, 1)
+	cfg.Port.Type = stbus.Type1
+	steps := []scriptStep{
+		{req: true, gnt: true, cell: ld4Cell(0x1000, 0)}, // first op granted
+		{req: true, gnt: true, cell: ld4Cell(0x1004, 1)}, // second before a response: illegal on T1
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !hasRule(ck, "t1-outstanding") {
+		t.Errorf("T1 double-outstanding not flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerT1LegalSequence(t *testing.T) {
+	cfg := nodeCfg(1, 1)
+	cfg.Port.Type = stbus.Type1
+	steps := []scriptStep{
+		{req: true, gnt: true, cell: ld4Cell(0x1000, 0)},
+		{rreq: true, rgnt: true, resp: okResp(0)},
+		{req: true, gnt: true, cell: ld4Cell(0x1004, 1)},
+		{rreq: true, rgnt: true, resp: okResp(1)},
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !ck.Passed() {
+		t.Errorf("legal T1 sequence flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerRespLength(t *testing.T) {
+	cfg := nodeCfg(1, 1) // Type3/32-bit
+	// LD8 expects a 2-cell response; deliver a 1-cell one.
+	req := stbus.Cell{Opc: stbus.LD8, Addr: 0x1000, BE: 0xf, EOP: true, TID: 3}
+	steps := []scriptStep{
+		{req: true, gnt: true, cell: req},
+		{rreq: true, rgnt: true, resp: stbus.RespCell{ROpc: stbus.RespData, EOP: true, TID: 3}},
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !hasRule(ck, "resp-length") {
+		t.Errorf("short response packet not flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerRespInterleave(t *testing.T) {
+	cfg := nodeCfg(1, 1)
+	// Two LD8s outstanding; their response packets interleave cell-wise.
+	steps := []scriptStep{
+		{req: true, gnt: true, cell: stbus.Cell{Opc: stbus.LD8, Addr: 0x1000, BE: 0xf, EOP: true, TID: 1}},
+		{req: true, gnt: true, cell: stbus.Cell{Opc: stbus.LD8, Addr: 0x1008, BE: 0xf, EOP: true, TID: 2}},
+		{rreq: true, rgnt: true, resp: stbus.RespCell{ROpc: stbus.RespData, TID: 1}}, // first cell of resp 1
+		{rreq: true, rgnt: true, resp: stbus.RespCell{ROpc: stbus.RespData, TID: 2}}, // interleaved!
+		{rreq: true, rgnt: true, resp: stbus.RespCell{ROpc: stbus.RespData, EOP: true, TID: 1}},
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !hasRule(ck, "resp-interleave") {
+		t.Errorf("interleaved response not flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerRespOrphan(t *testing.T) {
+	cfg := nodeCfg(1, 1)
+	cfg.Port.Type = stbus.Type2
+	steps := []scriptStep{
+		{rreq: true, rgnt: true, resp: okResp(0)}, // response with nothing outstanding
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !hasRule(ck, "resp-orphan") {
+		t.Errorf("orphan response not flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerErrExpectedOnUnmapped(t *testing.T) {
+	cfg := nodeCfg(1, 1)
+	steps := []scriptStep{
+		{req: true, gnt: true, cell: ld4Cell(0x9000, 5)}, // unmapped address
+		{rreq: true, rgnt: true, resp: okResp(5)},        // answered WITHOUT error flag
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !hasRule(ck, "err-expected") {
+		t.Errorf("missing error flag on unmapped access not flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerChunkBreakAcrossTargets(t *testing.T) {
+	cfg := nodeCfg(1, 2)
+	lckCell := ld4Cell(0x1000, 0)
+	lckCell.Lck = true
+	steps := []scriptStep{
+		{req: true, gnt: true, cell: lckCell},            // chunk opened toward target 0
+		{req: true, gnt: true, cell: ld4Cell(0x2000, 1)}, // next packet jumps to target 1
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !hasRule(ck, "chunk-break") {
+		t.Errorf("chunk target switch not flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerOpcodeChangeMidPacket(t *testing.T) {
+	cfg := nodeCfg(1, 1)
+	c1 := stbus.Cell{Opc: stbus.ST8, Addr: 0x1000, BE: 0xf, TID: 1}
+	c2 := stbus.Cell{Opc: stbus.ST4, Addr: 0x1004, BE: 0xf, EOP: true, TID: 1}
+	steps := []scriptStep{
+		{req: true, gnt: true, cell: c1},
+		{req: true, gnt: true, cell: c2},
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !hasRule(ck, "opcode-change") {
+		t.Errorf("opcode change mid-packet not flagged: %v", ck.Violations)
+	}
+}
+
+func TestCheckerCleanWaitState(t *testing.T) {
+	// Holding a stable request through several ungranted cycles is legal.
+	cfg := nodeCfg(1, 1)
+	c := ld4Cell(0x1000, 0)
+	steps := []scriptStep{
+		{req: true, gnt: false, cell: c},
+		{req: true, gnt: false, cell: c},
+		{req: true, gnt: true, cell: c},
+		{rreq: true, rgnt: true, resp: okResp(0)},
+	}
+	ck := runScript(t, cfg, true, steps)
+	if !ck.Passed() {
+		t.Errorf("stable wait flagged: %v", ck.Violations)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Cycle: 7, Port: "node.init0", Rule: "stability", Detail: "x"}
+	s := v.String()
+	for _, want := range []string{"7", "node.init0", "stability"} {
+		if indexOf(s, want) < 0 {
+			t.Errorf("violation string %q missing %q", s, want)
+		}
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,103 @@
+package catg
+
+import (
+	"crve/internal/nodespec"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+
+// Route codes a monitor's route classifier may return for a first-cell
+// address.
+const (
+	// RouteUnmapped marks addresses outside every map region (answered by
+	// the DUT's error responder).
+	RouteUnmapped = -1
+	// RouteProg marks addresses inside the programming region.
+	RouteProg = -2
+)
+
+// RouteFunc classifies a first-cell address: a target index, RouteUnmapped
+// or RouteProg. NodeRouter builds one from a node configuration.
+type RouteFunc func(addr uint64) int
+
+// NodeRouter returns the route classifier of a node configuration, as seen
+// from initiator port initIdx (partial-crossbar connectivity included).
+func NodeRouter(cfg nodespec.Config, initIdx int) RouteFunc {
+	return func(addr uint64) int {
+		if cfg.ProgPort && addr >= cfg.ProgBase && addr < cfg.ProgBase+uint64(4*cfg.NumInit) {
+			return RouteProg
+		}
+		t := cfg.Map.Route(addr)
+		if t < 0 || !cfg.Connected(initIdx, t) {
+			return RouteUnmapped
+		}
+		return t
+	}
+}
+
+type pendingTx struct {
+	tr      *stbus.Transaction
+	reqOp   stbus.Opcode
+	reqAddr uint64
+	seq     uint64
+}
+
+// Monitor reconstructs STBus transactions from the signals of one port. It
+// is a passive cycle-end observer (the "Monitor" blocks of Figure 2); the
+// protocol checker, scoreboard and coverage model all consume its output.
+// The transaction pairing itself lives in TxAssembler, shared with the
+// transaction-level bench.
+type Monitor struct {
+	Port *stbus.Port
+	asm  *TxAssembler
+
+	// Per-cycle statistics for coverage sampling.
+	Cycles    uint64
+	ReqFires  uint64
+	RespFires uint64
+}
+
+// NewMonitor attaches a monitor to port. route may be nil (target-side
+// monitors have no routing to classify).
+func NewMonitor(sm *sim.Simulator, port *stbus.Port, index int, initiatorSide bool, route RouteFunc) *Monitor {
+	m := &Monitor{Port: port, asm: NewTxAssembler(port.Cfg, index, initiatorSide, route)}
+	sm.AtCycleEnd(m.observe)
+	return m
+}
+
+// Index returns the port's position on its side of the DUT.
+func (m *Monitor) Index() int { return m.asm.Index }
+
+// InitiatorSide reports whether this is a DUT initiator-facing port.
+func (m *Monitor) InitiatorSide() bool { return m.asm.InitiatorSide }
+
+// Completed returns the transactions completed so far, in completion order.
+func (m *Monitor) CompletedTxs() []*stbus.Transaction { return m.asm.Completed }
+
+// OnComplete registers a transaction listener.
+func (m *Monitor) OnComplete(fn func(*stbus.Transaction)) { m.asm.OnComplete(fn) }
+
+func (m *Monitor) observe() {
+	m.Cycles++
+	p := m.Port
+	cyc := m.Cycles - 1
+	if p.ReqFire() {
+		m.ReqFires++
+		m.asm.ReqCell(cyc, p.SampleCell())
+	}
+	if p.RespFire() {
+		m.RespFires++
+		m.asm.RespCell(cyc, p.SampleResp())
+	}
+}
+
+// LastCompletedSeq returns the issue sequence number of the most recently
+// completed transaction (0 before any completion or for orphan responses).
+func (m *Monitor) LastCompletedSeq() uint64 { return m.asm.LastCompletedSeq() }
+
+// PendingCount returns the number of request packets awaiting a response.
+func (m *Monitor) PendingCount() int { return m.asm.PendingCount() }
+
+// OldestPendingSeq returns the issue sequence number of the oldest pending
+// transaction (0 when none) — used by the out-of-order coverage detector.
+func (m *Monitor) OldestPendingSeq() uint64 { return m.asm.OldestPendingSeq() }

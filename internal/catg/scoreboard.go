@@ -1,0 +1,141 @@
+package catg
+
+import (
+	"bytes"
+	"fmt"
+
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// Scoreboard checks data integrity through a routing DUT: every transaction
+// observed entering an initiator port must be observed unmodified at the
+// routed target port, with matching request payloads and response payloads
+// (the paper's "Automatic Check on data integrity: the DUT outputs' data
+// correspond to the inputs' one").
+//
+// Transactions routed to the DUT's internal services (unmapped addresses,
+// the programming region) have no target-side counterpart; the scoreboard
+// instead checks their response contract (error flags, register readback).
+type Scoreboard struct {
+	Node nodespec.Config
+
+	initTxs []*stbus.Transaction
+	tgtTxs  []*stbus.Transaction
+
+	// progRegs mirrors the programming register file to check readbacks.
+	progRegs []uint8
+}
+
+// NewScoreboard builds a scoreboard subscribed to the given initiator-side
+// and target-side monitors.
+func NewScoreboard(node nodespec.Config, initMons, tgtMons []*Monitor) *Scoreboard {
+	node = node.WithDefaults()
+	s := &Scoreboard{Node: node, progRegs: node.DefaultPriorities()}
+	for _, m := range initMons {
+		m.OnComplete(s.AddInitiatorTransaction)
+	}
+	for _, m := range tgtMons {
+		m.OnComplete(s.AddTargetTransaction)
+	}
+	return s
+}
+
+// AddInitiatorTransaction feeds one initiator-side transaction directly
+// (used by the transaction-level bench in internal/tlm).
+func (s *Scoreboard) AddInitiatorTransaction(tr *stbus.Transaction) {
+	s.initTxs = append(s.initTxs, tr)
+}
+
+// AddTargetTransaction feeds one target-side transaction directly.
+func (s *Scoreboard) AddTargetTransaction(tr *stbus.Transaction) {
+	s.tgtTxs = append(s.tgtTxs, tr)
+}
+
+type sbKey struct {
+	src  uint8
+	tid  uint8
+	opc  stbus.Opcode
+	addr uint64
+}
+
+// Check matches the two transaction streams and returns every data-integrity
+// error found. Call it after the test drains.
+func (s *Scoreboard) Check() []string {
+	var errs []string
+	byKey := make(map[sbKey][]*stbus.Transaction)
+	for _, tr := range s.tgtTxs {
+		k := sbKey{src: tr.Src, tid: tr.TID, opc: tr.Opc, addr: tr.Addr}
+		byKey[k] = append(byKey[k], tr)
+	}
+	for _, tr := range s.initTxs {
+		switch {
+		case tr.Target >= 0:
+			k := sbKey{src: tr.Src, tid: tr.TID, opc: tr.Opc, addr: tr.Addr}
+			q := byKey[k]
+			if len(q) == 0 {
+				errs = append(errs, fmt.Sprintf("%v: never observed at target side", tr))
+				continue
+			}
+			tt := q[0]
+			byKey[k] = q[1:]
+			if !bytes.Equal(tr.WriteData, tt.WriteData) {
+				errs = append(errs, fmt.Sprintf("%v: write data corrupted through DUT (%x vs %x)",
+					tr, tr.WriteData, tt.WriteData))
+			}
+			if tr.Err != tt.Err {
+				errs = append(errs, fmt.Sprintf("%v: error flag changed through DUT", tr))
+			}
+			if !tr.Err && !bytes.Equal(tr.ReadData, tt.ReadData) {
+				errs = append(errs, fmt.Sprintf("%v: read data corrupted through DUT (%x vs %x)",
+					tr, tr.ReadData, tt.ReadData))
+			}
+		case tr.Target == RouteUnmapped:
+			if !tr.Err {
+				errs = append(errs, fmt.Sprintf("%v: unmapped access must error", tr))
+			}
+		case tr.Target == RouteProg:
+			errs = append(errs, s.checkProg(tr)...)
+		}
+	}
+	for k, q := range byKey {
+		for range q {
+			errs = append(errs, fmt.Sprintf("target-side transaction %+v never requested by an initiator", k))
+		}
+	}
+	return errs
+}
+
+// checkProg models the register decoder to validate programming-port
+// responses. Transactions are checked in initiator completion order, which
+// matches the order the node serviced them for a single programming port.
+func (s *Scoreboard) checkProg(tr *stbus.Transaction) []string {
+	var errs []string
+	reg := int(tr.Addr-s.Node.ProgBase) / 4
+	legal := reg >= 0 && reg < s.Node.NumInit && (tr.Opc == stbus.ST4 || tr.Opc == stbus.LD4)
+	if !legal {
+		if !tr.Err {
+			errs = append(errs, fmt.Sprintf("%v: illegal programming access must error", tr))
+		}
+		return errs
+	}
+	if tr.Err {
+		errs = append(errs, fmt.Sprintf("%v: legal programming access errored", tr))
+		return errs
+	}
+	if tr.Opc == stbus.ST4 {
+		s.progRegs[reg] = tr.WriteData[0] & 0xf
+		return errs
+	}
+	if len(tr.ReadData) != 4 || tr.ReadData[0] != s.progRegs[reg] {
+		errs = append(errs, fmt.Sprintf("%v: register readback %x, model %#x",
+			tr, tr.ReadData, s.progRegs[reg]))
+	}
+	return errs
+}
+
+// InitTransactions returns the initiator-side transaction stream.
+func (s *Scoreboard) InitTransactions() []*stbus.Transaction { return s.initTxs }
+
+// TgtTransactions returns the target-side transaction stream.
+func (s *Scoreboard) TgtTransactions() []*stbus.Transaction { return s.tgtTxs }

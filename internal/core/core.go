@@ -1,0 +1,312 @@
+// Package core assembles the paper's contribution: the Common Reusable
+// Verification Environment. One environment — harnesses, monitors, protocol
+// checkers, scoreboard, functional coverage (all from internal/catg) — into
+// which either design view plugs unchanged:
+//
+//	DUT (RTL or BCA)  ←→  CATG bench  →  reports + VCD
+//
+// RunTest executes one (test file, seed) pair against one view; RunPair
+// executes the same pair against both views, then runs the STBus Analyzer on
+// the two waveform dumps and checks functional-coverage equality — the full
+// flow of the paper's Figures 4 and 5.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"crve/internal/bca"
+	"crve/internal/catg"
+	"crve/internal/coverage"
+	"crve/internal/nodespec"
+	"crve/internal/rtl"
+	"crve/internal/sim"
+	"crve/internal/stba"
+	"crve/internal/stbus"
+	"crve/internal/vcd"
+)
+
+// View names a design view of the IP.
+type View int
+
+const (
+	// RTLView is the synthesisable signal-level model.
+	RTLView View = iota
+	// BCAView is the bus-cycle-accurate model wrapped for the common bench.
+	BCAView
+)
+
+func (v View) String() string {
+	if v == BCAView {
+		return "BCA"
+	}
+	return "RTL"
+}
+
+// DUT is what the common environment needs from a design view: its port
+// bundles and, when available, its code-coverage instrumentation. Both node
+// views satisfy it through the adapters below.
+type DUT interface {
+	// InitPorts returns the initiator-facing ports.
+	InitPorts() []*stbus.Port
+	// TgtPorts returns the target-facing ports.
+	TgtPorts() []*stbus.Port
+	// CodeCoverage returns the instrumentation map, nil when the view has
+	// none (the BCA case: "no tool is able to generate this metrics for
+	// SystemC").
+	CodeCoverage() *coverage.CodeMap
+	// View identifies the design view.
+	View() View
+}
+
+type rtlDUT struct{ n *rtl.Node }
+
+func (d rtlDUT) InitPorts() []*stbus.Port        { return d.n.Init }
+func (d rtlDUT) TgtPorts() []*stbus.Port         { return d.n.Tgt }
+func (d rtlDUT) CodeCoverage() *coverage.CodeMap { return d.n.Code }
+func (d rtlDUT) View() View                      { return RTLView }
+
+type bcaDUT struct{ n *bca.Node }
+
+func (d bcaDUT) InitPorts() []*stbus.Port        { return d.n.Init }
+func (d bcaDUT) TgtPorts() []*stbus.Port         { return d.n.Tgt }
+func (d bcaDUT) CodeCoverage() *coverage.CodeMap { return nil }
+func (d bcaDUT) View() View                      { return BCAView }
+
+// BuildDUT elaborates the requested view of the node under sc. bugs applies
+// to the BCA view only (the RTL view is the reference).
+func BuildDUT(sc sim.Scope, cfg nodespec.Config, view View, bugs bca.Bugs) (DUT, error) {
+	switch view {
+	case RTLView:
+		n, err := rtl.NewNode(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return rtlDUT{n}, nil
+	case BCAView:
+		n, err := bca.NewNode(sc, cfg, bugs)
+		if err != nil {
+			return nil, err
+		}
+		return bcaDUT{n}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown view %d", int(view))
+	}
+}
+
+// Test is one test file of the suite: named traffic and target-timing
+// constraints, reusable across every node configuration (the paper's twelve
+// "generic" test cases "depend on some HDL parameters" and "can be reused
+// for all configurations").
+type Test struct {
+	Name string
+	// Traffic configures the initiator BFMs. TrafficFor allows per-initiator
+	// specialisation; when nil, Traffic applies to every initiator.
+	Traffic    catg.TrafficConfig
+	TrafficFor func(cfg nodespec.Config, initIdx int) catg.TrafficConfig
+	// Target configures the target BFMs. TargetFor allows per-target
+	// specialisation (e.g. one slow target to force out-of-order traffic).
+	Target    catg.TargetConfig
+	TargetFor func(cfg nodespec.Config, tgtIdx int) catg.TargetConfig
+	// MaxCycles bounds the run (0 = derived from traffic volume).
+	MaxCycles int
+}
+
+func (t Test) trafficFor(cfg nodespec.Config, i int) catg.TrafficConfig {
+	if t.TrafficFor != nil {
+		return t.TrafficFor(cfg, i)
+	}
+	return t.Traffic
+}
+
+func (t Test) targetFor(cfg nodespec.Config, tg int) catg.TargetConfig {
+	if t.TargetFor != nil {
+		return t.TargetFor(cfg, tg)
+	}
+	return t.Target
+}
+
+// RunResult is the verification report of one (test, seed, view) run.
+type RunResult struct {
+	Test  string
+	Seed  int64
+	View  View
+	DUTIn nodespec.Config
+
+	Cycles       uint64
+	Drained      bool
+	Transactions int
+	// Latencies holds one total latency (cycles) per completed initiator-side
+	// transaction, for performance analyses.
+	Latencies   []uint64
+	Violations  []catg.Violation
+	ScoreErrors []string
+	Coverage    *coverage.Group
+	CodeCov     *coverage.CodeMap
+	VCD         []byte
+}
+
+// Passed reports whether every automatic check of the run succeeded.
+func (r *RunResult) Passed() bool {
+	return r.Drained && len(r.Violations) == 0 && len(r.ScoreErrors) == 0
+}
+
+// Summary renders the one-line verdict of the run.
+func (r *RunResult) Summary() string {
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-4s %-24s seed=%-6d %s: %d cycles, %d txs, %d violations, %d scoreboard errors, cov %.1f%%",
+		r.View, r.Test, r.Seed, verdict, r.Cycles, r.Transactions, len(r.Violations),
+		len(r.ScoreErrors), r.Coverage.Percent())
+}
+
+// RunOptions tunes a RunTest invocation.
+type RunOptions struct {
+	// DumpVCD captures the DUT port waveforms for later bus-accurate
+	// comparison.
+	DumpVCD bool
+	// Bugs applies to the BCA view.
+	Bugs bca.Bugs
+}
+
+// RunTest builds a fresh simulator, elaborates the requested view, wires the
+// common bench around it, runs the test to drain and collects every report.
+func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptions) (*RunResult, error) {
+	cfg = cfg.WithDefaults()
+	sm := sim.New()
+	dut, err := BuildDUT(sim.Root(sm), cfg, view, opt.Bugs)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Test: test.Name, Seed: seed, View: view, DUTIn: cfg}
+
+	var buf bytes.Buffer
+	var wr *vcd.Writer
+	if opt.DumpVCD {
+		wr = vcd.NewWriter(&buf, "tb")
+	}
+	var bfms []*catg.InitiatorBFM
+	var initMons, tgtMons []*catg.Monitor
+	var checkers []*catg.Checker
+	totalCells := 0
+	for i, p := range dut.InitPorts() {
+		ops := catg.GenerateOps(cfg, test.trafficFor(cfg, i), i, seed)
+		for _, o := range ops {
+			totalCells += len(o.Cells) + o.IdleBefore
+		}
+		bfms = append(bfms, catg.NewInitiatorBFM(sm, p, ops))
+		mon := catg.NewMonitor(sm, p, i, true, catg.NodeRouter(cfg, i))
+		mon.OnComplete(func(tr *stbus.Transaction) {
+			res.Latencies = append(res.Latencies, tr.Latency())
+		})
+		initMons = append(initMons, mon)
+		checkers = append(checkers, catg.NewChecker(sm, p, cfg, true, catg.NodeRouter(cfg, i)))
+		if wr != nil {
+			for _, s := range p.Signals() {
+				wr.Declare(s)
+			}
+		}
+	}
+	for tg, p := range dut.TgtPorts() {
+		catg.NewTargetBFM(sm, p, test.targetFor(cfg, tg), catg.TargetSeed(seed, tg))
+		tgtMons = append(tgtMons, catg.NewMonitor(sm, p, tg, false, nil))
+		checkers = append(checkers, catg.NewChecker(sm, p, cfg, false, nil))
+		if wr != nil {
+			for _, s := range p.Signals() {
+				wr.Declare(s)
+			}
+		}
+	}
+	sb := catg.NewScoreboard(cfg, initMons, tgtMons)
+	cov := catg.NewCoverageModel(cfg, test.trafficFor(cfg, 0))
+	cov.SubscribeMonitors(sm, initMons)
+	if wr != nil {
+		wr.Attach(sm)
+	}
+
+	limit := test.MaxCycles
+	if limit == 0 {
+		limit = 2000 + totalCells*60
+	}
+	done := func() bool {
+		for _, b := range bfms {
+			if !b.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	err = sm.RunUntil(done, limit)
+	res.Drained = err == nil
+	if err == nil {
+		// A short tail so registered responses and monitors settle.
+		if err := sm.Run(5); err != nil {
+			return nil, err
+		}
+	}
+	res.Cycles = sm.Cycle()
+	for _, c := range checkers {
+		res.Violations = append(res.Violations, c.Violations...)
+	}
+	res.ScoreErrors = sb.Check()
+	res.Coverage = cov.Group
+	res.CodeCov = dut.CodeCoverage()
+	for _, m := range initMons {
+		res.Transactions += len(m.CompletedTxs())
+	}
+	if wr != nil {
+		if err := wr.Flush(); err != nil {
+			return nil, err
+		}
+		res.VCD = buf.Bytes()
+	}
+	return res, nil
+}
+
+// PairResult is the outcome of running the same (test, seed) on both views
+// and comparing them — the complete common-flow iteration of Figure 4.
+type PairResult struct {
+	RTL, BCA *RunResult
+	// Alignment is the per-port STBA comparison of the two waveform dumps.
+	Alignment *stba.Report
+	// CoverageEqual reports whether functional coverage matched bin by bin.
+	CoverageEqual bool
+	CoverageDiff  string
+}
+
+// SignedOff reports the paper's sign-off criterion: both runs pass their
+// checks, functional coverage is identical, and every port is at or above
+// the 99 % alignment rate.
+func (p *PairResult) SignedOff() bool {
+	return p.RTL.Passed() && p.BCA.Passed() && p.CoverageEqual && p.Alignment.AllPass()
+}
+
+// RunPair runs one (test, seed) against the RTL and the BCA views, then
+// performs the bus-accurate comparison and the coverage-equality check.
+func RunPair(cfg nodespec.Config, test Test, seed int64, bugs bca.Bugs) (*PairResult, error) {
+	rres, err := RunTest(cfg, RTLView, test, seed, RunOptions{DumpVCD: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: RTL run: %w", err)
+	}
+	bres, err := RunTest(cfg, BCAView, test, seed, RunOptions{DumpVCD: true, Bugs: bugs})
+	if err != nil {
+		return nil, fmt.Errorf("core: BCA run: %w", err)
+	}
+	fr, err := vcd.Parse(bytes.NewReader(rres.VCD))
+	if err != nil {
+		return nil, err
+	}
+	fb, err := vcd.Parse(bytes.NewReader(bres.VCD))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := stba.Compare(fr, fb, nil)
+	if err != nil {
+		return nil, err
+	}
+	pr := &PairResult{RTL: rres, BCA: bres, Alignment: rep}
+	pr.CoverageEqual, pr.CoverageDiff = rres.Coverage.EqualHits(bres.Coverage)
+	return pr, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/catg"
+	"crve/internal/nodespec"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+
+func cfg(nInit, nTgt int) nodespec.Config {
+	return nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: nInit, NumTgt: nTgt,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		Map: stbus.UniformMap(nTgt, 0x1000, 0x1000),
+	}.WithDefaults()
+}
+
+func smokeTest() Test {
+	return Test{
+		Name:    "smoke",
+		Traffic: catg.TrafficConfig{Ops: 25, UnmappedPct: 5, IdlePct: 10},
+		Target:  catg.TargetConfig{MinLatency: 1, MaxLatency: 4, GntGapPct: 15},
+	}
+}
+
+func TestRunTestRTLPasses(t *testing.T) {
+	res, err := RunTest(cfg(2, 2), RTLView, smokeTest(), 42, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("RTL run failed: %s\nviolations: %v\nscore: %v",
+			res.Summary(), res.Violations, res.ScoreErrors)
+	}
+	if res.CodeCov == nil {
+		t.Error("RTL run must expose code coverage")
+	}
+	if res.Transactions != 2*25 {
+		t.Errorf("transactions = %d, want 50", res.Transactions)
+	}
+	if !strings.Contains(res.Summary(), "PASS") {
+		t.Error("summary should say PASS")
+	}
+}
+
+func TestRunTestBCAHasNoCodeCoverage(t *testing.T) {
+	res, err := RunTest(cfg(2, 2), BCAView, smokeTest(), 42, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("BCA run failed: %s", res.Summary())
+	}
+	if res.CodeCov != nil {
+		t.Error("BCA run must not expose code coverage (paper: no tool for SystemC)")
+	}
+}
+
+func TestRunPairSignsOffCleanModel(t *testing.T) {
+	pr, err := RunPair(cfg(2, 2), smokeTest(), 7, bca.Bugs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.SignedOff() {
+		t.Fatalf("clean pair not signed off:\nRTL: %s\nBCA: %s\ncov equal: %v (%s)\n%s",
+			pr.RTL.Summary(), pr.BCA.Summary(), pr.CoverageEqual, pr.CoverageDiff, pr.Alignment)
+	}
+	if pr.Alignment.MinRate() != 100 {
+		t.Errorf("alignment %.2f%%, want 100%%", pr.Alignment.MinRate())
+	}
+}
+
+func TestRunPairRejectsBuggedModel(t *testing.T) {
+	c := cfg(3, 1)
+	c.ReqArb = arb.LRU
+	pr, err := RunPair(c, smokeTest(), 7, bca.Bugs{LRUInit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.SignedOff() {
+		t.Error("bugged model must not sign off")
+	}
+	if pr.Alignment.MinRate() == 100 {
+		t.Error("alignment should drop with the LRU bug")
+	}
+}
+
+func TestRunTestVCDOnlyWhenRequested(t *testing.T) {
+	res, err := RunTest(cfg(1, 1), RTLView, smokeTest(), 3, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VCD != nil {
+		t.Error("VCD captured without request")
+	}
+	res, err = RunTest(cfg(1, 1), RTLView, smokeTest(), 3, RunOptions{DumpVCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VCD) == 0 {
+		t.Error("VCD missing")
+	}
+}
+
+func TestRunTestSeedsMatter(t *testing.T) {
+	a, err := RunTest(cfg(1, 1), RTLView, smokeTest(), 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTest(cfg(1, 1), RTLView, smokeTest(), 2, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == b.Cycles && a.Coverage.SortedBinDump() == b.Coverage.SortedBinDump() {
+		t.Error("different seeds produced identical runs")
+	}
+	c, err := RunTest(cfg(1, 1), RTLView, smokeTest(), 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != c.Cycles || a.Coverage.SortedBinDump() != c.Coverage.SortedBinDump() {
+		t.Error("same seed must reproduce the run exactly")
+	}
+}
+
+func TestBuildDUTViews(t *testing.T) {
+	sm := sim.New()
+	d, err := BuildDUT(sim.Root(sm), cfg(2, 2), RTLView, bca.Bugs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.View() != RTLView || len(d.InitPorts()) != 2 || len(d.TgtPorts()) != 2 {
+		t.Error("RTL DUT malformed")
+	}
+	sm2 := sim.New()
+	d2, err := BuildDUT(sim.Root(sm2), cfg(2, 2), BCAView, bca.Bugs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.View() != BCAView || d2.CodeCoverage() != nil {
+		t.Error("BCA DUT malformed")
+	}
+	if _, err := BuildDUT(sim.Root(sim.New()), cfg(2, 2), View(9), bca.Bugs{}); err == nil {
+		t.Error("unknown view should fail")
+	}
+	if RTLView.String() != "RTL" || BCAView.String() != "BCA" {
+		t.Error("view names")
+	}
+}
+
+func TestRunTestDetectsStall(t *testing.T) {
+	// A test with an impossible cycle budget must report not-drained.
+	tst := smokeTest()
+	tst.MaxCycles = 3
+	res, err := RunTest(cfg(1, 1), RTLView, tst, 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drained || res.Passed() {
+		t.Error("3-cycle budget should not drain")
+	}
+}

@@ -1,0 +1,264 @@
+// Package coverage implements the two quality metrics the paper's flow is
+// gated on:
+//
+//   - functional coverage — declared items with bins (and crosses of items),
+//     sampled by the verification environment, obtainable on BOTH the RTL
+//     and the BCA model and required to be identical when the same tests and
+//     seeds run on the two views;
+//   - code coverage — line, branch and statement coverage, obtained by
+//     instrumenting the RTL model only (the paper: "no tool is able to
+//     generate this metrics for SystemC"), with support for justifying
+//     unreachable points ("100 % of justified code for the line coverage").
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bin is one bucket of a coverage item.
+type Bin struct {
+	Name string
+	Hits uint64
+}
+
+// Item is a named coverage point with a declared set of bins.
+type Item struct {
+	Name string
+	bins map[string]*Bin
+	// order preserves declaration order for reports.
+	order []string
+}
+
+// newItem builds an item with the given declared bins.
+func newItem(name string, bins []string) *Item {
+	it := &Item{Name: name, bins: make(map[string]*Bin, len(bins))}
+	for _, b := range bins {
+		if _, dup := it.bins[b]; dup {
+			panic(fmt.Sprintf("coverage: duplicate bin %q in item %q", b, name))
+		}
+		it.bins[b] = &Bin{Name: b}
+		it.order = append(it.order, b)
+	}
+	return it
+}
+
+// Hit samples bin name. Hitting an undeclared bin panics: the coverage model
+// is the specification of legal behaviour, so an unexpected value is a
+// verification-environment bug the paper says must be caught early.
+func (it *Item) Hit(name string) {
+	b, ok := it.bins[name]
+	if !ok {
+		panic(fmt.Sprintf("coverage: item %q has no bin %q", it.Name, name))
+	}
+	b.Hits++
+}
+
+// HitOK samples bin name if declared and reports whether it was.
+func (it *Item) HitOK(name string) bool {
+	b, ok := it.bins[name]
+	if ok {
+		b.Hits++
+	}
+	return ok
+}
+
+// Hits returns the hit count of bin name (0 if undeclared).
+func (it *Item) Hits(name string) uint64 {
+	if b, ok := it.bins[name]; ok {
+		return b.Hits
+	}
+	return 0
+}
+
+// Covered returns hit and total bin counts.
+func (it *Item) Covered() (hit, total int) {
+	for _, b := range it.bins {
+		if b.Hits > 0 {
+			hit++
+		}
+	}
+	return hit, len(it.bins)
+}
+
+// Holes returns the names of unhit bins in declaration order.
+func (it *Item) Holes() []string {
+	var h []string
+	for _, n := range it.order {
+		if it.bins[n].Hits == 0 {
+			h = append(h, n)
+		}
+	}
+	return h
+}
+
+// Group is a set of coverage items, the unit reported per DUT configuration.
+type Group struct {
+	Name  string
+	items map[string]*Item
+	order []string
+}
+
+// NewGroup returns an empty coverage group.
+func NewGroup(name string) *Group {
+	return &Group{Name: name, items: make(map[string]*Item)}
+}
+
+// Item declares (or returns the existing) item with the given bins.
+func (g *Group) Item(name string, bins ...string) *Item {
+	if it, ok := g.items[name]; ok {
+		return it
+	}
+	it := newItem(name, bins)
+	g.items[name] = it
+	g.order = append(g.order, name)
+	return it
+}
+
+// Cross declares an item whose bins are the cartesian product of the bins of
+// a and b, named "abin×bbin". Sample it with HitCross.
+func (g *Group) Cross(name string, a, b *Item) *Item {
+	var bins []string
+	for _, an := range a.order {
+		for _, bn := range b.order {
+			bins = append(bins, an+"×"+bn)
+		}
+	}
+	return g.Item(name, bins...)
+}
+
+// HitCross samples the cross bin for the pair (abin, bbin) on item name.
+func (g *Group) HitCross(name, abin, bbin string) {
+	g.MustItem(name).Hit(abin + "×" + bbin)
+}
+
+// MustItem returns a declared item, panicking if absent.
+func (g *Group) MustItem(name string) *Item {
+	it, ok := g.items[name]
+	if !ok {
+		panic(fmt.Sprintf("coverage: group %q has no item %q", g.Name, name))
+	}
+	return it
+}
+
+// Items returns the items in declaration order.
+func (g *Group) Items() []*Item {
+	out := make([]*Item, 0, len(g.order))
+	for _, n := range g.order {
+		out = append(out, g.items[n])
+	}
+	return out
+}
+
+// Covered returns hit and total bin counts over all items.
+func (g *Group) Covered() (hit, total int) {
+	for _, it := range g.items {
+		h, t := it.Covered()
+		hit += h
+		total += t
+	}
+	return hit, total
+}
+
+// Percent returns the functional coverage percentage (100 for an empty
+// group).
+func (g *Group) Percent() float64 {
+	h, t := g.Covered()
+	if t == 0 {
+		return 100
+	}
+	return 100 * float64(h) / float64(t)
+}
+
+// Full reports whether every declared bin has been hit.
+func (g *Group) Full() bool {
+	h, t := g.Covered()
+	return h == t
+}
+
+// Merge accumulates the hit counts of o (which must declare the same items
+// and bins) into g.
+func (g *Group) Merge(o *Group) error {
+	for _, name := range o.order {
+		oit := o.items[name]
+		it, ok := g.items[name]
+		if !ok {
+			return fmt.Errorf("coverage: merge: item %q missing from %q", name, g.Name)
+		}
+		for _, bn := range oit.order {
+			b, ok := it.bins[bn]
+			if !ok {
+				return fmt.Errorf("coverage: merge: bin %q missing from item %q", bn, name)
+			}
+			b.Hits += oit.bins[bn].Hits
+		}
+	}
+	return nil
+}
+
+// EqualHits reports whether g and o declare the same bins with identical hit
+// counts — the paper's requirement that functional coverage "must be equal
+// running the same tests" on the two views. The first difference found is
+// described in detail.
+func (g *Group) EqualHits(o *Group) (bool, string) {
+	if len(g.items) != len(o.items) {
+		return false, fmt.Sprintf("item count %d vs %d", len(g.items), len(o.items))
+	}
+	for _, name := range g.order {
+		it := g.items[name]
+		oit, ok := o.items[name]
+		if !ok {
+			return false, fmt.Sprintf("item %q missing", name)
+		}
+		if len(it.bins) != len(oit.bins) {
+			return false, fmt.Sprintf("item %q bin count %d vs %d", name, len(it.bins), len(oit.bins))
+		}
+		for bn, b := range it.bins {
+			ob, ok := oit.bins[bn]
+			if !ok {
+				return false, fmt.Sprintf("item %q bin %q missing", name, bn)
+			}
+			if b.Hits != ob.Hits {
+				return false, fmt.Sprintf("item %q bin %q hits %d vs %d", name, bn, b.Hits, ob.Hits)
+			}
+		}
+	}
+	return true, ""
+}
+
+// Report renders the group as the functional-coverage report of a regression
+// run.
+func (g *Group) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "functional coverage group %q: %.1f%%\n", g.Name, g.Percent())
+	for _, it := range g.Items() {
+		h, t := it.Covered()
+		fmt.Fprintf(&sb, "  item %-28s %3d/%3d bins", it.Name, h, t)
+		if holes := it.Holes(); len(holes) > 0 {
+			max := holes
+			if len(max) > 6 {
+				max = max[:6]
+			}
+			fmt.Fprintf(&sb, "  holes: %s", strings.Join(max, ","))
+			if len(holes) > 6 {
+				fmt.Fprintf(&sb, ",… (%d)", len(holes))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SortedBinDump renders every bin and hit count deterministically, used by
+// the coverage-equality experiment to diff the two views textually.
+func (g *Group) SortedBinDump() string {
+	var lines []string
+	for _, it := range g.Items() {
+		for _, bn := range it.order {
+			lines = append(lines, fmt.Sprintf("%s/%s=%d", it.Name, bn, it.bins[bn].Hits))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/core"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+	"crve/internal/testcases"
+)
+
+// latencyStats summarises transaction latency over one run.
+type latencyStats struct {
+	n          int
+	sum, worst uint64
+}
+
+func (ls *latencyStats) add(lat uint64) {
+	ls.n++
+	ls.sum += lat
+	if lat > ls.worst {
+		ls.worst = lat
+	}
+}
+
+func (ls *latencyStats) avg() float64 {
+	if ls.n == 0 {
+		return 0
+	}
+	return float64(ls.sum) / float64(ls.n)
+}
+
+// AblationArch regenerates the paper's Section 3 architecture trade-off:
+// "a single shared bus ... can lead to worse results in terms of
+// performance, or a crossbar (full or partial), that leads better results in
+// terms of performance". The experiment runs identical contended traffic
+// through the three node architectures and reports drain time and
+// transaction latency.
+func AblationArch(w io.Writer) error {
+	base := nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 4, NumTgt: 4,
+		ReqArb: arb.RoundRobin, RespArb: arb.RoundRobin,
+		Map: stbus.UniformMap(4, 0x1000, 0x1000),
+	}
+	tc, err := testcases.ByName("back_to_back")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "A1: node architecture trade-off (4x4, round-robin, saturating traffic)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %14s %14s\n", "arch", "cycles", "txs", "avg latency", "max latency")
+	var sharedCycles, fullCycles uint64
+	for _, arch := range []nodespec.Arch{nodespec.SharedBus, nodespec.PartialCrossbar, nodespec.FullCrossbar} {
+		cfg := base
+		cfg.Arch = arch
+		if arch == nodespec.PartialCrossbar {
+			cfg.Allowed = make([][]bool, cfg.NumInit)
+			for i := range cfg.Allowed {
+				cfg.Allowed[i] = make([]bool, cfg.NumTgt)
+				for t := range cfg.Allowed[i] {
+					cfg.Allowed[i][t] = true
+				}
+			}
+			cfg.Allowed[cfg.NumInit-1][cfg.NumTgt-1] = false
+		}
+		res, err := core.RunTest(cfg, core.BCAView, tc, 3, core.RunOptions{Bugs: bca.Bugs{}})
+		if err != nil {
+			return err
+		}
+		if !res.Passed() {
+			return fmt.Errorf("experiments: %v run failed", arch)
+		}
+		// Latency from the coverage-feeding monitors is not retained; derive
+		// stats by re-running with a transaction listener would double work,
+		// so use the run's cycle count plus latency coverage buckets.
+		ls := latencyFromRun(res)
+		fmt.Fprintf(w, "%-10s %12d %12d %14.1f %14d\n", arch, res.Cycles, res.Transactions, ls.avg(), ls.worst)
+		switch arch {
+		case nodespec.SharedBus:
+			sharedCycles = res.Cycles
+		case nodespec.FullCrossbar:
+			fullCycles = res.Cycles
+		}
+	}
+	fmt.Fprintf(w, "shared bus takes %.2fx the cycles of the full crossbar on this workload\n",
+		float64(sharedCycles)/float64(fullCycles))
+	fmt.Fprintf(w, "paper claim (§3): shared bus is worse, crossbar better, in performance\n")
+	if sharedCycles <= fullCycles {
+		return fmt.Errorf("experiments: shared bus unexpectedly at least as fast as the crossbar")
+	}
+	return nil
+}
+
+// latencyFromRun folds the run's per-transaction latencies into statistics.
+func latencyFromRun(res *core.RunResult) *latencyStats {
+	ls := &latencyStats{}
+	for _, l := range res.Latencies {
+		ls.add(l)
+	}
+	return ls
+}

@@ -1,0 +1,317 @@
+// Package experiments regenerates every quantitative and structural claim of
+// the paper's evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	E1 — the ≥36-configuration regression matrix (§5)
+//	E2 — five seeded BCA bugs: new flow finds all, past flow finds none (§5)
+//	E3 — functional-coverage equality between views (§4)
+//	E4 — per-port bus-accurate alignment, sign-off at 99 % (§4)
+//	E5 — BCA speed: fast standalone, advantage lost when wrapped (§1/§4)
+//	E6 — code coverage on RTL only (§4)
+//
+// Each experiment prints the table the paper's flow would report; the
+// benchmarks in bench_test.go and the cmd/experiments binary both call into
+// this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/core"
+	"crve/internal/coverage"
+	"crve/internal/nodespec"
+	"crve/internal/oldflow"
+	"crve/internal/regress"
+	"crve/internal/stbus"
+	"crve/internal/testcases"
+)
+
+// RefConfig is the reference node configuration used by the single-config
+// experiments: the Figure 6 shape (three initiators, two targets, a
+// programming port) on Type 3.
+func RefConfig() nodespec.Config {
+	return nodespec.Config{
+		Name:    "ref",
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 3, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.Programmable, RespArb: arb.Priority,
+		Map:      stbus.UniformMap(2, 0x1000, 0x1000),
+		ProgPort: true,
+		ProgBase: 0x10_0000,
+	}.WithDefaults()
+}
+
+// E1RegressionMatrix runs the twelve-test suite over the configuration
+// matrix on both views and prints the per-configuration sign-off table. With
+// quick set, a 6-configuration slice and one seed is used (the full matrix
+// is the paper-scale run).
+func E1RegressionMatrix(w io.Writer, quick bool) error {
+	cfgs := regress.StandardMatrix()
+	seeds := []int64{1, 2}
+	if quick {
+		cfgs = cfgs[:6]
+		seeds = seeds[:1]
+	}
+	fmt.Fprintf(w, "E1: regression matrix — %d configurations × 12 tests × %d seeds, both views\n",
+		len(cfgs), len(seeds))
+	results, err := regress.RunMatrix(cfgs, regress.Options{Tests: testcases.All(), Seeds: seeds})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, regress.MatrixReport(results))
+	signed := 0
+	fullCov := 0
+	for _, cr := range results {
+		if cr.SignedOff() {
+			signed++
+		}
+		if cr.SuiteCoverage.Full() {
+			fullCov++
+		}
+	}
+	fmt.Fprintf(w, "summary: %d/%d configurations signed off, %d/%d at full functional coverage\n",
+		signed, len(results), fullCov, len(results))
+	fmt.Fprintf(w, "paper claim: >36 configurations tested, all main features covered, full coverage goal\n")
+	return nil
+}
+
+// E2BugDetection runs each of the five seeded BCA bugs through the past flow
+// and the common flow, printing the detection matrix. Reproduces "The
+// verification environment permitted to find five bugs on BCA models, not
+// found using old environment of the past flow."
+func E2BugDetection(w io.Writer) error {
+	fmt.Fprintf(w, "E2: seeded BCA bug detection — past flow vs common environment\n")
+	fmt.Fprintf(w, "%-22s %-10s %-10s %s\n", "bug", "past-flow", "new-flow", "detected by")
+	base := RefConfig()
+	base.ReqArb = arb.LRU
+	base.ProgPort = false
+	t2 := base
+	t2.Port.Type = stbus.Type2
+	foundNew, foundOld := 0, 0
+	for bi, bug := range bca.AllBugs() {
+		cfg := base
+		if bug.T2OrderIgnored {
+			cfg = t2
+		}
+		// Past flow: three directed write-then-read runs.
+		oldCaught := false
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := oldflow.Run(cfg, bug, 20, seed)
+			if err != nil {
+				return err
+			}
+			if !res.Passed {
+				oldCaught = true
+			}
+		}
+		// Common flow: the generic suite with two seeds; detection = checker
+		// or scoreboard failure on the BCA run, or alignment below sign-off.
+		newCaught := false
+		how := "-"
+		for _, tc := range testcases.All() {
+			for seed := int64(1); seed <= 2 && !newCaught; seed++ {
+				pair, err := core.RunPair(cfg, tc, seed, bug)
+				if err != nil {
+					return err
+				}
+				switch {
+				case len(pair.BCA.Violations) > 0:
+					newCaught = true
+					how = fmt.Sprintf("checker[%s] in %s", pair.BCA.Violations[0].Rule, tc.Name)
+				case len(pair.BCA.ScoreErrors) > 0:
+					newCaught = true
+					how = "scoreboard in " + tc.Name
+				case !pair.BCA.Drained:
+					newCaught = true
+					how = "stall in " + tc.Name
+				case !pair.Alignment.AllPass():
+					newCaught = true
+					how = fmt.Sprintf("alignment %.2f%% in %s", pair.Alignment.MinRate(), tc.Name)
+				}
+			}
+			if newCaught {
+				break
+			}
+		}
+		if oldCaught {
+			foundOld++
+		}
+		if newCaught {
+			foundNew++
+		}
+		fmt.Fprintf(w, "%-22s %-10s %-10s %s\n", bca.BugNames()[bi],
+			verdict(!oldCaught), verdict(!newCaught), how)
+	}
+	fmt.Fprintf(w, "summary: past flow found %d/5, common environment found %d/5\n", foundOld, foundNew)
+	fmt.Fprintf(w, "paper claim: five bugs on BCA models found, none found by the old environment\n")
+	return nil
+}
+
+func verdict(missed bool) string {
+	if missed {
+		return "missed"
+	}
+	return "FOUND"
+}
+
+// E3CoverageEquality runs the suite on both views and prints per-test
+// functional coverage for each, asserting bin-exact equality (§4: coverage
+// "must be equal running the same tests").
+func E3CoverageEquality(w io.Writer) error {
+	cfg := RefConfig()
+	fmt.Fprintf(w, "E3: functional-coverage equality, config %v\n", cfg)
+	fmt.Fprintf(w, "%-22s %-6s %9s %9s %s\n", "test", "seed", "RTL cov", "BCA cov", "bins equal")
+	allEq := true
+	for _, tc := range testcases.All() {
+		pair, err := core.RunPair(cfg, tc, 1, bca.Bugs{})
+		if err != nil {
+			return err
+		}
+		eq, _ := pair.RTL.Coverage.EqualHits(pair.BCA.Coverage)
+		allEq = allEq && eq
+		fmt.Fprintf(w, "%-22s %-6d %8.1f%% %8.1f%% %v\n", tc.Name, 1,
+			pair.RTL.Coverage.Percent(), pair.BCA.Coverage.Percent(), eq)
+	}
+	fmt.Fprintf(w, "summary: coverage equal on every test = %v\n", allEq)
+	fmt.Fprintf(w, "paper claim: functional coverage obtainable on both models and equal for same tests\n")
+	return nil
+}
+
+// E4Alignment runs the bus-accurate comparison for a clean BCA model and for
+// each seeded bug, printing the per-port alignment table against the 99 %
+// sign-off line — including the paper's "low alignment rate" loop-back case.
+func E4Alignment(w io.Writer) error {
+	cfg := RefConfig()
+	cfg.ReqArb = arb.LRU
+	cfg.ProgPort = false
+	tc, err := testcases.ByName("random_mixed")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E4: bus-accurate comparison (STBA), config %v, test %s\n", cfg, tc.Name)
+	run := func(label string, bugs bca.Bugs) error {
+		pair, err := core.RunPair(cfg, tc, 3, bugs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- %s (min rate %.2f%%, sign-off %v)\n%s",
+			label, pair.Alignment.MinRate(), pair.Alignment.AllPass(), pair.Alignment)
+		return nil
+	}
+	if err := run("clean BCA", bca.Bugs{}); err != nil {
+		return err
+	}
+	// Each bug is compared under the suite test that exercises its feature —
+	// a bug aligns perfectly on traffic that never touches it, which is why
+	// the flow runs the whole twelve-test suite before sign-off.
+	bugTests := []string{"hot_target", "chunked", "back_to_back", "error_paths", "random_mixed"}
+	for bi, bug := range bca.AllBugs() {
+		c := cfg
+		if bug.T2OrderIgnored {
+			c.Port.Type = stbus.Type2
+		}
+		btc, err := testcases.ByName(bugTests[bi])
+		if err != nil {
+			return err
+		}
+		pair, err := core.RunPair(c, btc, 3, bug)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- bug %-22s test %-14s min rate %6.2f%%  sign-off %v\n",
+			bca.BugNames()[bi], btc.Name, pair.Alignment.MinRate(), pair.Alignment.AllPass())
+	}
+	fmt.Fprintf(w, "paper claim: per-port alignment rate computed from VCDs; 99%% needed for sign-off\n")
+	return nil
+}
+
+// SpeedResult is one row of the E5 table.
+type SpeedResult struct {
+	Mode         string
+	Cycles       uint64
+	Elapsed      time.Duration
+	CyclesPerSec float64
+}
+
+// E5Speed measures simulation throughput of the RTL view in the common
+// environment, the BCA view wrapped into the same environment, and the BCA
+// engine standalone. Reproduces the paper's motivation (fast BCA
+// simulation) and its observation that wrapping the BCA into the common
+// bench forfeits the speed advantage.
+func E5Speed(w io.Writer) ([]SpeedResult, error) {
+	cfg := RefConfig()
+	cfg.ReqArb = arb.LRU
+	cfg.ProgPort = false
+	tc, err := testcases.ByName("back_to_back")
+	if err != nil {
+		return nil, err
+	}
+	tc.Traffic.Ops = 400
+	var out []SpeedResult
+	runWrapped := func(label string, view core.View) error {
+		start := time.Now()
+		res, err := core.RunTest(cfg, view, tc, 11, core.RunOptions{})
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		out = append(out, SpeedResult{Mode: label, Cycles: res.Cycles, Elapsed: el,
+			CyclesPerSec: float64(res.Cycles) / el.Seconds()})
+		return nil
+	}
+	if err := runWrapped("RTL in common env", core.RTLView); err != nil {
+		return nil, err
+	}
+	if err := runWrapped("BCA wrapped in common env", core.BCAView); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sa, err := bca.RunStandalone(bca.StandaloneConfig{Node: cfg, Seed: 11, OpsPerInit: 400, MemLatency: 1})
+	if err != nil {
+		return nil, err
+	}
+	el := time.Since(start)
+	out = append(out, SpeedResult{Mode: "BCA standalone (no kernel)", Cycles: sa.Cycles, Elapsed: el,
+		CyclesPerSec: float64(sa.Cycles) / el.Seconds()})
+
+	fmt.Fprintf(w, "E5: simulation throughput (same node configuration, saturating traffic)\n")
+	fmt.Fprintf(w, "%-28s %10s %12s %14s\n", "mode", "cycles", "elapsed", "cycles/sec")
+	for _, r := range out {
+		fmt.Fprintf(w, "%-28s %10d %12s %14.0f\n", r.Mode, r.Cycles, r.Elapsed.Round(time.Microsecond), r.CyclesPerSec)
+	}
+	wrapped := out[1].CyclesPerSec / out[0].CyclesPerSec
+	standalone := out[2].CyclesPerSec / out[0].CyclesPerSec
+	fmt.Fprintf(w, "speedup vs RTL: wrapped BCA %.2fx, standalone BCA %.1fx\n", wrapped, standalone)
+	fmt.Fprintf(w, "paper claim: BCA simulation is fast, but \"the advantage of having fast SystemC simulator is lost\" once wrapped\n")
+	return out, nil
+}
+
+// E6CodeCoverage reports the RTL-only code coverage after the full suite:
+// line/branch/statement percentages on the RTL view, and the BCA view's
+// structural lack of the metric.
+func E6CodeCoverage(w io.Writer) error {
+	cfg := RefConfig()
+	fmt.Fprintf(w, "E6: code coverage (line/branch/statement), config %v\n", cfg)
+	cc := coverage.NewCodeMap()
+	for _, tc := range testcases.All() {
+		res, err := core.RunTest(cfg, core.RTLView, tc, 1, core.RunOptions{})
+		if err != nil {
+			return err
+		}
+		cc.Merge(res.CodeCov)
+	}
+	fmt.Fprint(w, cc.Report())
+	bres, err := core.RunTest(cfg, core.BCAView, testcases.All()[0], 1, core.RunOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "BCA view code coverage: %v (not available — matches the paper: no tool for SystemC)\n",
+		bres.CodeCov)
+	fmt.Fprintf(w, "paper goal: 100%% functional coverage and 100%% justified line coverage; line=%.1f%%\n",
+		cc.Percent(coverage.LinePoint))
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package nodespec holds the configuration vocabulary of the STBus node —
+// the "HDL parameters" the paper's regression tool collects and applies to
+// both design views. It is specification, not implementation: internal/rtl
+// and internal/bca each implement NODE-SPEC.md independently from this
+// shared parameter set.
+package nodespec
+
+import (
+	"fmt"
+
+	"crve/internal/arb"
+	"crve/internal/stbus"
+)
+
+// Arch selects the node interconnect architecture (Section 3 of the paper:
+// single shared bus, full crossbar or partial crossbar).
+type Arch int
+
+const (
+	// SharedBus serialises the fabric: at most one request transfer and one
+	// response transfer cross the node per cycle.
+	SharedBus Arch = iota
+	// FullCrossbar lets every initiator-target pair transfer concurrently.
+	FullCrossbar
+	// PartialCrossbar restricts connectivity to an allowed matrix; requests
+	// to unreachable targets receive error responses.
+	PartialCrossbar
+)
+
+func (a Arch) String() string {
+	switch a {
+	case SharedBus:
+		return "shared"
+	case FullCrossbar:
+		return "full"
+	case PartialCrossbar:
+		return "partial"
+	default:
+		return fmt.Sprintf("arch?%d", int(a))
+	}
+}
+
+// ParseArch parses an architecture name from a configuration file.
+func ParseArch(s string) (Arch, error) {
+	for _, a := range []Arch{SharedBus, FullCrossbar, PartialCrossbar} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("nodespec: unknown architecture %q", s)
+}
+
+// MaxPorts is the node port-count limit (the paper: "can manage up to 32
+// initiators and 32 targets").
+const MaxPorts = 32
+
+// Config is the set of HDL parameters of a node instance, the ones the
+// paper's regression tool collects ("bus size, protocol bus type, pipe size,
+// endianess and some other parameters").
+type Config struct {
+	Name string
+	// Port is the common configuration of every node interface. The node
+	// supports Type2 and Type3 (Type1 peripherals attach through a type
+	// converter, as in the paper's Figure 1).
+	Port stbus.PortConfig
+	// NumInit and NumTgt are the initiator and target port counts (1..32).
+	NumInit, NumTgt int
+	Arch            Arch
+	// Allowed is the partial-crossbar connectivity matrix
+	// (Allowed[init][tgt]); ignored for the other architectures.
+	Allowed [][]bool
+	// ReqArb is the request-path arbitration policy (per target port, or
+	// global for a shared bus); RespArb is the response-path policy.
+	ReqArb, RespArb arb.Kind
+	// Map routes request addresses to target ports.
+	Map stbus.AddrMap
+	// PipeSize bounds outstanding request packets per initiator port before
+	// the node back-pressures (the CATG "pipe size" parameter).
+	PipeSize int
+	// ProgPort exposes the arbitration priority registers at ProgBase
+	// (4 bytes per initiator), served by the node's internal register
+	// decoder. Effective with the programmable policy.
+	ProgPort bool
+	ProgBase uint64
+}
+
+// WithDefaults fills zero-valued fields with usable defaults.
+func (c Config) WithDefaults() Config {
+	c.Port = c.Port.WithDefaults()
+	if c.PipeSize == 0 {
+		c.PipeSize = 4
+	}
+	if c.Name == "" {
+		c.Name = "node"
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Port.Validate(); err != nil {
+		return err
+	}
+	if c.Port.Type == stbus.Type1 {
+		return fmt.Errorf("nodespec: node supports Type2/Type3 only (Type1 attaches via a type converter)")
+	}
+	if c.NumInit < 1 || c.NumInit > MaxPorts {
+		return fmt.Errorf("nodespec: %d initiators out of range 1..%d", c.NumInit, MaxPorts)
+	}
+	if c.NumTgt < 1 || c.NumTgt > MaxPorts {
+		return fmt.Errorf("nodespec: %d targets out of range 1..%d", c.NumTgt, MaxPorts)
+	}
+	if c.Arch == PartialCrossbar {
+		if len(c.Allowed) != c.NumInit {
+			return fmt.Errorf("nodespec: allowed matrix has %d rows, want %d", len(c.Allowed), c.NumInit)
+		}
+		for i, row := range c.Allowed {
+			if len(row) != c.NumTgt {
+				return fmt.Errorf("nodespec: allowed row %d has %d cols, want %d", i, len(row), c.NumTgt)
+			}
+		}
+	}
+	if len(c.Map) == 0 {
+		return fmt.Errorf("nodespec: node needs at least one address-map region")
+	}
+	if err := c.Map.Validate(c.NumTgt); err != nil {
+		return err
+	}
+	if c.PipeSize < 1 || c.PipeSize > 64 {
+		return fmt.Errorf("nodespec: pipe size %d out of range 1..64", c.PipeSize)
+	}
+	if c.ProgPort {
+		for _, r := range c.Map {
+			if c.ProgBase < r.End() && r.Base < c.ProgBase+uint64(4*c.NumInit) {
+				return fmt.Errorf("nodespec: programming region overlaps map region at %#x", r.Base)
+			}
+		}
+	}
+	return nil
+}
+
+// Connected reports whether initiator i may reach target t.
+func (c Config) Connected(i, t int) bool {
+	if c.Arch != PartialCrossbar {
+		return true
+	}
+	return c.Allowed[i][t]
+}
+
+// DefaultPriorities returns the power-on arbitration priority table both
+// views must use: port 0 highest (the paper's Figure 6 node numbers its
+// initiators by importance).
+func (c Config) DefaultPriorities() []uint8 {
+	prios := make([]uint8, c.NumInit)
+	for i := range prios {
+		prios[i] = uint8(c.NumInit-i) & 0xf
+	}
+	return prios
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s: %v %dx%d %v req=%v resp=%v pipe=%d prog=%v",
+		c.Name, c.Port, c.NumInit, c.NumTgt, c.Arch, c.ReqArb, c.RespArb, c.PipeSize, c.ProgPort)
+}

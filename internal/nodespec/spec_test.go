@@ -1,0 +1,98 @@
+package nodespec
+
+import (
+	"strings"
+	"testing"
+
+	"crve/internal/arb"
+	"crve/internal/stbus"
+)
+
+func valid() Config {
+	return Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 2, NumTgt: 2,
+		Arch:   FullCrossbar,
+		ReqArb: arb.Priority, RespArb: arb.Priority,
+		Map: stbus.UniformMap(2, 0x1000, 0x1000),
+	}.WithDefaults()
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Port.Type = stbus.Type1 },
+		func(c *Config) { c.Port.DataBits = 48 },
+		func(c *Config) { c.NumInit = 0 },
+		func(c *Config) { c.NumInit = 33 },
+		func(c *Config) { c.NumTgt = 0 },
+		func(c *Config) { c.Arch = PartialCrossbar }, // missing Allowed
+		func(c *Config) { c.Map = nil },
+		func(c *Config) { c.Map = stbus.UniformMap(5, 0, 0x100) }, // routes past NumTgt
+		func(c *Config) { c.PipeSize = -1 },                       // negative pipe (0 is defaulted)
+		func(c *Config) { c.PipeSize = 99 },
+		func(c *Config) { c.ProgPort = true; c.ProgBase = 0x1000 }, // overlaps map
+	}
+	for i, m := range mut {
+		c := valid()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %v", i, c)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{Port: stbus.PortConfig{Type: stbus.Type2, DataBits: 64},
+		NumInit: 1, NumTgt: 1, Map: stbus.UniformMap(1, 0, 0x100)}.WithDefaults()
+	if c.PipeSize != 4 || c.Name != "node" || c.Port.AddrBits != 32 {
+		t.Errorf("defaults: %v", c)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	c := valid()
+	if !c.Connected(0, 1) {
+		t.Error("full crossbar should connect everything")
+	}
+	c.Arch = PartialCrossbar
+	c.Allowed = [][]bool{{true, false}, {true, true}}
+	if c.Connected(0, 1) || !c.Connected(1, 1) {
+		t.Error("partial connectivity wrong")
+	}
+}
+
+func TestDefaultPriorities(t *testing.T) {
+	c := valid()
+	c.NumInit = 3
+	p := c.DefaultPriorities()
+	if len(p) != 3 || p[0] <= p[1] || p[1] <= p[2] {
+		t.Errorf("priorities %v: port 0 must rank highest", p)
+	}
+}
+
+func TestArchParseAndString(t *testing.T) {
+	for _, a := range []Arch{SharedBus, FullCrossbar, PartialCrossbar} {
+		got, err := ParseArch(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseArch(%q)", a.String())
+		}
+	}
+	if _, err := ParseArch("torus"); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := valid().String()
+	for _, want := range []string{"node", "2x2", "T3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package oldflow
+
+import (
+	"testing"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+func cfg() nodespec.Config {
+	return nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 3, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		Map:      stbus.UniformMap(2, 0x1000, 0x1000),
+		PipeSize: 2,
+	}.WithDefaults()
+}
+
+func TestOldFlowPassesCleanModel(t *testing.T) {
+	res, err := Run(cfg(), bca.Bugs{}, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("old flow failed a clean model: %+v", res)
+	}
+	if res.Mismatches != 0 || res.Ops != 20 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+// TestOldFlowMissesEverySeededBug is the baseline half of experiment E2: the
+// paper reports that the five BCA bugs were "not found using old environment
+// of the past flow". Each seeded bug must slip through the old methodology.
+func TestOldFlowMissesEverySeededBug(t *testing.T) {
+	c := cfg()
+	t2c := c
+	t2c.Port.Type = stbus.Type2
+	for bi, bug := range bca.AllBugs() {
+		bug := bug
+		t.Run(bca.BugNames()[bi], func(t *testing.T) {
+			use := c
+			if bug.T2OrderIgnored {
+				use = t2c
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				res, err := Run(use, bug, 20, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Passed {
+					t.Fatalf("old flow unexpectedly caught %v (seed %d): %+v",
+						bug.List(), seed, res)
+				}
+			}
+		})
+	}
+}
+
+func TestOldFlowDeterministic(t *testing.T) {
+	a, err := Run(cfg(), bca.Bugs{}, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg(), bca.Bugs{}, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+	}
+}

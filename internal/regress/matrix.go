@@ -1,0 +1,79 @@
+package regress
+
+import (
+	"fmt"
+
+	"crve/internal/arb"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// StandardMatrix generates the regression configuration matrix used by
+// experiment E1: 36 node configurations (the paper: "More than 36
+// configurations of the Node have been tested"), sweeping the six
+// arbitration policies, the three architectures and the two node protocol
+// types, while cycling bus widths, port counts, endianness and pipe sizes.
+func StandardMatrix() []nodespec.Config {
+	widths := []int{32, 64, 16, 128}
+	shapes := []struct{ i, t int }{{2, 2}, {3, 2}, {4, 3}, {2, 1}}
+	types := []stbus.Type{stbus.Type2, stbus.Type3}
+	archs := []nodespec.Arch{nodespec.SharedBus, nodespec.FullCrossbar, nodespec.PartialCrossbar}
+
+	var out []nodespec.Config
+	k := 0
+	for _, ty := range types {
+		for _, ar := range archs {
+			for _, policy := range arb.Kinds {
+				sh := shapes[k%len(shapes)]
+				cfg := nodespec.Config{
+					Name:    fmt.Sprintf("cfg%02d", k),
+					Port:    stbus.PortConfig{Type: ty, DataBits: widths[k%len(widths)]},
+					NumInit: sh.i,
+					NumTgt:  sh.t,
+					Arch:    ar,
+					ReqArb:  policy,
+					RespArb: arb.Kinds[(k+1)%len(arb.Kinds)],
+					Map:     stbus.UniformMap(sh.t, 0x1000, 0x800),
+					// Cycle pipe sizes through the CATG "pipe size" knob.
+					PipeSize: []int{4, 2, 8}[k%3],
+				}
+				// The response path sticks to policies that need no
+				// programming port of their own.
+				if cfg.RespArb == arb.Programmable {
+					cfg.RespArb = arb.Priority
+				}
+				if k%5 == 4 {
+					cfg.Port.Endian = stbus.BigEndian
+				}
+				if ar == nodespec.PartialCrossbar {
+					cfg.Allowed = partialMatrix(sh.i, sh.t)
+				}
+				if policy == arb.Programmable {
+					cfg.ProgPort = true
+					cfg.ProgBase = 0x10_0000
+				}
+				out = append(out, cfg.WithDefaults())
+				k++
+			}
+		}
+	}
+	return out
+}
+
+// partialMatrix builds a deterministic partial-crossbar connectivity: all
+// pairs connected except the last initiator to the last target (when more
+// than one of each exists), so the blocked-pair path is exercised while
+// every initiator keeps at least one reachable target.
+func partialMatrix(nInit, nTgt int) [][]bool {
+	rows := make([][]bool, nInit)
+	for i := range rows {
+		rows[i] = make([]bool, nTgt)
+		for t := range rows[i] {
+			rows[i][t] = true
+		}
+	}
+	if nInit > 1 && nTgt > 1 {
+		rows[nInit-1][nTgt-1] = false
+	}
+	return rows
+}

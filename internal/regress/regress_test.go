@@ -1,0 +1,296 @@
+package regress
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/core"
+	"crve/internal/coverage"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+	"crve/internal/testcases"
+)
+
+const sampleCfg = `
+# reference configuration
+name      = sample
+type      = t3
+data_bits = 32
+endian    = little
+num_init  = 3
+num_tgt   = 2
+arch      = full
+req_arb   = lru
+resp_arb  = priority
+pipe      = 4
+map       = 0x1000:0x1000:0, 0x2000:0x1000:1
+`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(sampleCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "sample" || cfg.Port.Type != stbus.Type3 || cfg.Port.DataBits != 32 ||
+		cfg.NumInit != 3 || cfg.NumTgt != 2 || cfg.ReqArb != arb.LRU || cfg.PipeSize != 4 {
+		t.Errorf("parsed %v", cfg)
+	}
+	if len(cfg.Map) != 2 || cfg.Map[1].Base != 0x2000 || cfg.Map[1].Target != 1 {
+		t.Errorf("map %v", cfg.Map)
+	}
+}
+
+func TestParseConfigPartialAndProg(t *testing.T) {
+	src := `
+type = t2
+data_bits = 64
+num_init = 2
+num_tgt = 2
+arch = partial
+req_arb = programmable
+resp_arb = roundrobin
+map = 0x0:0x1000:0, 0x1000:0x1000:1
+allowed = 11,10
+prog_port = true
+prog_base = 0x100000
+endian = big
+`
+	cfg, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Arch != nodespec.PartialCrossbar || !cfg.Allowed[0][1] || cfg.Allowed[1][1] {
+		t.Errorf("allowed %v", cfg.Allowed)
+	}
+	if !cfg.ProgPort || cfg.ProgBase != 0x100000 || cfg.Port.Endian != stbus.BigEndian {
+		t.Errorf("cfg %v", cfg)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{
+		"type = t9\n",
+		"nonsense\n",
+		"whoami = 3\n",
+		"arch = ring\n",
+		"map = 1:2\n",
+		"allowed = 12\n",
+		// valid syntax, invalid semantics (no map):
+		"type = t3\ndata_bits = 32\nnum_init = 1\nnum_tgt = 1\n",
+	}
+	for _, src := range bad {
+		if _, err := ParseConfig(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseConfig(%q) should fail", src)
+		}
+	}
+}
+
+func TestFormatConfigRoundTrip(t *testing.T) {
+	for _, cfg := range StandardMatrix()[:8] {
+		text := FormatConfig(cfg)
+		back, err := ParseConfig(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", cfg.Name, err, text)
+		}
+		if back.String() != cfg.String() {
+			t.Errorf("round trip changed config:\n%v\n%v", cfg, back)
+		}
+	}
+}
+
+func TestLoadConfigDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.cfg"), []byte(sampleCfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := StandardMatrix()[0]
+	if err := os.WriteFile(filepath.Join(dir, "b.cfg"), []byte(FormatConfig(cfg2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ignore.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := LoadConfigDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 || cfgs[0].Name != "sample" {
+		t.Errorf("loaded %d configs: %v", len(cfgs), cfgs)
+	}
+	if _, err := LoadConfigDir(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+}
+
+func TestStandardMatrixShape(t *testing.T) {
+	m := StandardMatrix()
+	if len(m) < 36 {
+		t.Fatalf("matrix has %d configs, the paper tested more than 36", len(m))
+	}
+	seenArb := map[arb.Kind]bool{}
+	seenArch := map[nodespec.Arch]bool{}
+	seenType := map[stbus.Type]bool{}
+	names := map[string]bool{}
+	for _, cfg := range m {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", cfg.Name, err)
+		}
+		if names[cfg.Name] {
+			t.Errorf("duplicate name %s", cfg.Name)
+		}
+		names[cfg.Name] = true
+		seenArb[cfg.ReqArb] = true
+		seenArch[cfg.Arch] = true
+		seenType[cfg.Port.Type] = true
+	}
+	if len(seenArb) != 6 {
+		t.Errorf("only %d arbitration kinds swept", len(seenArb))
+	}
+	if len(seenArch) != 3 || len(seenType) != 2 {
+		t.Error("matrix must sweep all architectures and node protocol types")
+	}
+}
+
+func TestRunConfigCleanSuite(t *testing.T) {
+	cfg := nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 2, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		Map: stbus.UniformMap(2, 0x1000, 0x1000),
+	}.WithDefaults()
+	// A focused sub-suite keeps the unit test quick; the full matrix runs in
+	// the E1 benchmark.
+	suite := []string{"basic_write_read", "out_of_order", "error_paths", "chunked"}
+	opt := Options{Seeds: []int64{1, 2}}
+	for _, name := range suite {
+		tc, err := testcases.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Tests = append(opt.Tests, tc)
+	}
+	cr, err := RunConfig(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.SignedOff() {
+		t.Fatalf("clean config not signed off: rtlFail=%d bcaFail=%d covEq=%v align=%.2f",
+			cr.RTLFailures, cr.BCAFailures, cr.CoverageAllEqual, cr.MinAlignment)
+	}
+	if cr.MinAlignment != 100 {
+		t.Errorf("alignment %.2f", cr.MinAlignment)
+	}
+	if len(cr.Runs) != 8 {
+		t.Errorf("%d runs, want 8", len(cr.Runs))
+	}
+	// The 4-test sub-suite cannot reach full coverage (no long bursts, no
+	// mixed kinds); it must still make substantial progress.
+	if cr.SuiteCoverage.Percent() < 50 {
+		t.Errorf("suite coverage %.1f%% suspiciously low\n%s",
+			cr.SuiteCoverage.Percent(), cr.SuiteCoverage.Report())
+	}
+	rep := MatrixReport([]*ConfigResult{cr})
+	if !strings.Contains(rep, "PASS") && !strings.Contains(rep, "pass") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+// TestFullSuiteReachesFullCoverage is the paper's coverage sign-off: the
+// complete twelve-test suite, with a few seeds, must reach 100 % functional
+// coverage on the reference configuration.
+func TestFullSuiteReachesFullCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	cfg := nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 2, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.Programmable, RespArb: arb.Priority,
+		Map:      stbus.UniformMap(2, 0x1000, 0x1000),
+		ProgPort: true,
+		ProgBase: 0x10_0000,
+	}.WithDefaults()
+	cr, err := RunConfig(cfg, Options{Tests: testcases.All(), Seeds: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.SignedOff() {
+		t.Fatalf("reference config not signed off: rtlFail=%d bcaFail=%d covEq=%v align=%.2f",
+			cr.RTLFailures, cr.BCAFailures, cr.CoverageAllEqual, cr.MinAlignment)
+	}
+	if !cr.SuiteCoverage.Full() {
+		t.Errorf("functional coverage %.1f%%, want 100%%\n%s",
+			cr.SuiteCoverage.Percent(), cr.SuiteCoverage.Report())
+	}
+	if lc := cr.CodeCov.Percent(coverage.LinePoint); lc != 100 {
+		t.Errorf("justified line coverage %.1f%%, want 100%%\n%s", lc, cr.CodeCov.Report())
+	}
+}
+
+func TestRunConfigDetectsBuggedBCA(t *testing.T) {
+	cfg := nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 3, NumTgt: 1,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		Map: stbus.UniformMap(1, 0x1000, 0x1000),
+	}.WithDefaults()
+	tc, err := testcases.ByName("priority_pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := RunConfig(cfg, Options{Tests: []core.Test{tc}, Seeds: []int64{1},
+		Bugs: bca.Bugs{LRUInit: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.SignedOff() {
+		t.Error("bugged BCA must not sign off")
+	}
+	if cr.MinAlignment == 100 {
+		t.Error("alignment should drop")
+	}
+}
+
+func TestWriteReports(t *testing.T) {
+	cfg := nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 1, NumTgt: 1,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.Priority, RespArb: arb.Priority,
+		Map: stbus.UniformMap(1, 0x1000, 0x1000),
+	}.WithDefaults()
+	tc, err := testcases.ByName("basic_write_read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := RunConfig(cfg, Options{Tests: []core.Test{tc}, Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteReports(dir, []*ConfigResult{cr}); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, cfg.Name)
+	rep, err := os.ReadFile(filepath.Join(base, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"alignment min 100.00%", "functional coverage", "code coverage"} {
+		if !strings.Contains(string(rep), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, f := range []string{"basic_write_read_seed1_rtl.vcd", "basic_write_read_seed1_bca.vcd"} {
+		if _, err := os.Stat(filepath.Join(base, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package regress
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"crve/internal/bca"
+	"crve/internal/catg"
+	"crve/internal/core"
+	"crve/internal/coverage"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// Options tunes a regression run.
+type Options struct {
+	// Tests is the suite to run (the twelve generic test cases by default —
+	// supplied by the caller to avoid an import cycle with testcases).
+	Tests []core.Test
+	// Seeds lists the seeds each test file runs with ("Same test file could
+	// be run more than one time with a different seed").
+	Seeds []int64
+	// Bugs seeds the BCA view (for the bug-detection experiment).
+	Bugs bca.Bugs
+	// Log receives progress lines when non-nil (batch-mode output).
+	Log io.Writer
+}
+
+// TestRun is one (test, seed) execution on both views.
+type TestRun struct {
+	Test string
+	Seed int64
+	Pair *core.PairResult
+}
+
+// ConfigResult aggregates a full suite run on one node configuration.
+type ConfigResult struct {
+	Cfg  nodespec.Config
+	Runs []TestRun
+
+	// SuiteCoverage merges the RTL functional coverage of every run into
+	// the configuration-level report.
+	SuiteCoverage *coverage.Group
+	// CodeCov merges the RTL code coverage of every run.
+	CodeCov *coverage.CodeMap
+	// CoverageAllEqual reports whether every run's functional coverage
+	// matched between the views.
+	CoverageAllEqual bool
+	// MinAlignment is the worst per-port alignment rate over all runs.
+	MinAlignment float64
+	// RTLFailures / BCAFailures count runs whose checks failed per view.
+	RTLFailures, BCAFailures int
+}
+
+// SignedOff applies the paper's criteria to the whole configuration: all
+// checks pass on both views, coverage equal, every port ≥ 99 % aligned.
+func (cr *ConfigResult) SignedOff() bool {
+	if cr.RTLFailures > 0 || cr.BCAFailures > 0 || !cr.CoverageAllEqual {
+		return false
+	}
+	return cr.MinAlignment >= 99.0
+}
+
+// SuiteTraffic returns the union traffic configuration whose coverage model
+// is a superset of every test's, so per-test groups merge into one
+// suite-level report.
+func SuiteTraffic(cfg nodespec.Config) catg.TrafficConfig {
+	tc := catg.TrafficConfig{
+		Ops:         1,
+		Kinds:       []stbus.OpKind{stbus.KindLoad, stbus.KindStore, stbus.KindRMW, stbus.KindSwap},
+		Sizes:       []int{1, 2, 4, 8, 16, 32, 64},
+		UnmappedPct: 1,
+		ChunkPct:    1,
+		IdlePct:     1,
+		PriMax:      15,
+	}
+	if cfg.ProgPort {
+		tc.ProgPct = 1
+	}
+	return tc
+}
+
+// RunConfig executes the full suite against one configuration, on both
+// views, with every seed, and aggregates the reports.
+func RunConfig(cfg nodespec.Config, opt Options) (*ConfigResult, error) {
+	cfg = cfg.WithDefaults()
+	if len(opt.Seeds) == 0 {
+		opt.Seeds = []int64{1}
+	}
+	cr := &ConfigResult{
+		Cfg:              cfg,
+		SuiteCoverage:    catg.NewCoverageModel(cfg, SuiteTraffic(cfg)).Group,
+		CodeCov:          coverage.NewCodeMap(),
+		CoverageAllEqual: true,
+		MinAlignment:     100,
+	}
+	for _, test := range opt.Tests {
+		for _, seed := range opt.Seeds {
+			pair, err := core.RunPair(cfg, test, seed, opt.Bugs)
+			if err != nil {
+				return nil, fmt.Errorf("regress: %s/%s seed %d: %w", cfg.Name, test.Name, seed, err)
+			}
+			cr.Runs = append(cr.Runs, TestRun{Test: test.Name, Seed: seed, Pair: pair})
+			if !pair.RTL.Passed() {
+				cr.RTLFailures++
+			}
+			if !pair.BCA.Passed() {
+				cr.BCAFailures++
+			}
+			if !pair.CoverageEqual {
+				cr.CoverageAllEqual = false
+			}
+			if r := pair.Alignment.MinRate(); r < cr.MinAlignment {
+				cr.MinAlignment = r
+			}
+			if err := cr.SuiteCoverage.Merge(pair.RTL.Coverage); err != nil {
+				return nil, fmt.Errorf("regress: coverage merge: %w", err)
+			}
+			if pair.RTL.CodeCov != nil {
+				cr.CodeCov.Merge(pair.RTL.CodeCov)
+			}
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "  %s seed=%d  align=%.2f%% covEq=%v rtl=%s bca=%s\n",
+					test.Name, seed, pair.Alignment.MinRate(), pair.CoverageEqual,
+					passStr(pair.RTL.Passed()), passStr(pair.BCA.Passed()))
+			}
+		}
+	}
+	return cr, nil
+}
+
+func passStr(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "FAIL"
+}
+
+// RunMatrix executes the suite over every configuration.
+func RunMatrix(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, error) {
+	var out []*ConfigResult
+	for _, cfg := range cfgs {
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "%s (%v)\n", cfg.Name, cfg)
+		}
+		cr, err := RunConfig(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+// MatrixReport renders the configuration-level summary table (the paper's
+// §5 claim row by row: checkers, coverage, alignment, sign-off).
+func MatrixReport(results []*ConfigResult) string {
+	var sb strings.Builder
+	sb.WriteString("config  ports type arch    reqarb        pipe  runs  rtl  bca  covEq  funcCov  lineCov  minAlign  signoff\n")
+	for _, cr := range results {
+		lineCov := cr.CodeCov.Percent(coverage.LinePoint)
+		fmt.Fprintf(&sb, "%-7s %dx%d   %v   %-7v %-13v %2d   %4d %4d %4d  %-5v  %6.1f%%  %6.1f%%  %7.2f%%  %s\n",
+			cr.Cfg.Name, cr.Cfg.NumInit, cr.Cfg.NumTgt, cr.Cfg.Port.Type, cr.Cfg.Arch,
+			cr.Cfg.ReqArb, cr.Cfg.PipeSize, len(cr.Runs),
+			cr.RTLFailures, cr.BCAFailures, cr.CoverageAllEqual,
+			cr.SuiteCoverage.Percent(), lineCov, cr.MinAlignment, passStr(cr.SignedOff()))
+	}
+	return sb.String()
+}

@@ -1,0 +1,36 @@
+// Package rtl implements the signal-level, cycle-accurate ("RTL") view of
+// the STBus components: the node (arbitration + routing), the size
+// converter, the type converter, the register decoder and a memory target.
+//
+// The node follows the micro-architecture documented in NODE-SPEC.md at the
+// repository root; internal/bca implements the same specification
+// independently, and the STBus Analyzer checks that the two views stay
+// cycle-aligned at every port.
+//
+// The RTL view is instrumented with code-coverage points (line, branch,
+// statement), reproducing the paper's asymmetry: code coverage is an
+// RTL-only metric.
+package rtl
+
+import "crve/internal/nodespec"
+
+// Arch re-exports the node architecture selector from the shared node
+// specification (see internal/nodespec).
+type Arch = nodespec.Arch
+
+// NodeConfig re-exports the node parameter set from the shared node
+// specification.
+type NodeConfig = nodespec.Config
+
+// Architecture values, re-exported for local readability.
+const (
+	SharedBus       = nodespec.SharedBus
+	FullCrossbar    = nodespec.FullCrossbar
+	PartialCrossbar = nodespec.PartialCrossbar
+)
+
+// MaxPorts re-exports the port-count limit.
+const MaxPorts = nodespec.MaxPorts
+
+// ParseArch re-exports the architecture parser.
+var ParseArch = nodespec.ParseArch

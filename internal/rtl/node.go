@@ -1,0 +1,655 @@
+package rtl
+
+import (
+	"fmt"
+
+	"crve/internal/arb"
+	"crve/internal/coverage"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+
+// Route encodings used by the request path. Non-negative routes are target
+// port indices; the two internal services are the error responder and the
+// register decoder (programming port).
+const (
+	routeNone = -3
+	routeProg = -2
+	routeErr  = -1
+)
+
+// initState is the per-initiator-port state of the node.
+type initState struct {
+	// Request side.
+	inPacket bool
+	route    int
+	intCells []stbus.Cell
+	// outstanding holds one response-source index per in-flight packet, in
+	// issue order (targets 0..NumTgt-1, internal services NumTgt).
+	outstanding []int
+
+	// Response side.
+	intQ       []stbus.RespCell
+	respValid  bool
+	respCell   stbus.RespCell
+	respSrc    int
+	respLocked bool
+}
+
+// tgtState is the per-target-port state of the node.
+type tgtState struct {
+	outValid bool
+	outCell  stbus.Cell
+	lockInit int
+}
+
+// Node is the RTL view of the STBus node: combinational grant logic plus one
+// registered forwarding stage in each direction, per NODE-SPEC.md.
+type Node struct {
+	Cfg NodeConfig
+	// Init are the initiator-facing ports (the node drives gnt/r_req/...).
+	Init []*stbus.Port
+	// Tgt are the target-facing ports (the node drives req/r_gnt/...).
+	Tgt []*stbus.Port
+	// Code is the RTL code-coverage instrumentation of this instance.
+	Code *coverage.CodeMap
+
+	prog     *arb.ProgrammablePolicy
+	progRegs []uint8
+
+	reqArbs  []arb.Policy
+	reqArbG  arb.Policy
+	respArbs []arb.Policy
+	respArbG arb.Policy
+
+	tick *sim.Signal
+
+	ist []initState
+	tst []tgtState
+
+	// srcMap learns which initiator port issues each src value, so responses
+	// are routed back transparently even when the node sits below another
+	// node in a hierarchy (srcs are system-global in STBus).
+	srcMap [256]int16
+
+	// Per-cycle plans rewritten by the combinational process and consumed by
+	// the sequential one.
+	reqPlan  []int
+	grant    []bool
+	respPlan []int
+	rgnt     []bool
+	reqInG   arb.Input
+	reqIns   []arb.Input
+	respIns  []arb.Input
+	respInG  arb.Input
+}
+
+// NewNode elaborates a node under scope sc, creating its port signal bundles
+// and registering its processes with the simulator.
+func NewNode(sc sim.Scope, cfg NodeConfig) (*Node, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ns := sc.Sub(cfg.Name)
+	n := &Node{
+		Cfg:      cfg,
+		Code:     coverage.NewCodeMap(),
+		progRegs: make([]uint8, cfg.NumInit),
+		ist:      make([]initState, cfg.NumInit),
+		tst:      make([]tgtState, cfg.NumTgt),
+		reqPlan:  make([]int, cfg.NumInit),
+		grant:    make([]bool, cfg.NumInit),
+		respPlan: make([]int, cfg.NumInit),
+		rgnt:     make([]bool, cfg.NumTgt),
+	}
+	for i := range n.tst {
+		n.tst[i].lockInit = -1
+	}
+	for i := range n.srcMap {
+		n.srcMap[i] = -1
+	}
+	copy(n.progRegs, cfg.DefaultPriorities())
+	for i := 0; i < cfg.NumInit; i++ {
+		n.Init = append(n.Init, stbus.NewPort(ns, fmt.Sprintf("init%d", i), cfg.Port))
+		n.respArbs = append(n.respArbs, arb.New(cfg.RespArb, cfg.NumTgt+1))
+		n.respIns = append(n.respIns, arb.Input{Req: make([]bool, cfg.NumTgt+1)})
+	}
+	for t := 0; t < cfg.NumTgt; t++ {
+		n.Tgt = append(n.Tgt, stbus.NewPort(ns, fmt.Sprintf("tgt%d", t), cfg.Port))
+		n.reqArbs = append(n.reqArbs, n.newReqArb())
+		n.reqIns = append(n.reqIns, arb.Input{Req: make([]bool, cfg.NumInit), Pri: make([]uint8, cfg.NumInit)})
+	}
+	n.reqArbG = n.newReqArb()
+	n.reqInG = arb.Input{Req: make([]bool, cfg.NumInit), Pri: make([]uint8, cfg.NumInit)}
+	n.respArbG = arb.New(cfg.RespArb, cfg.NumInit)
+	n.respInG = arb.Input{Req: make([]bool, cfg.NumInit)}
+
+	n.declareCoverage()
+
+	n.tick = ns.Signal("tick", 32)
+	sens := []*sim.Signal{n.tick}
+	for _, p := range n.Init {
+		sens = append(sens, p.Req, p.Add, p.EOP, p.Lck, p.Pri, p.RGnt)
+	}
+	for _, p := range n.Tgt {
+		sens = append(sens, p.Gnt, p.RReq, p.RSrc)
+	}
+	ns.Comb("grants", n.comb, sens...)
+	ns.Seq("state", n.seq)
+	return n, nil
+}
+
+// newReqArb instantiates the request-path policy. The programmable policy is
+// shared with the register decoder, so a single instance backs every port of
+// the request path.
+func (n *Node) newReqArb() arb.Policy {
+	if n.Cfg.ReqArb == arb.Programmable {
+		if n.prog == nil {
+			n.prog = arb.NewProgrammable(n.Cfg.DefaultPriorities())
+		}
+		return n.prog
+	}
+	return arb.New(n.Cfg.ReqArb, n.Cfg.NumInit)
+}
+
+// Ports returns every external port, initiators first, for tracing and the
+// per-port alignment analysis.
+func (n *Node) Ports() []*stbus.Port {
+	out := append([]*stbus.Port{}, n.Init...)
+	return append(out, n.Tgt...)
+}
+
+// srcIdx maps a route to its response-source index.
+func (n *Node) srcIdx(route int) int {
+	if route >= 0 {
+		return route
+	}
+	return n.Cfg.NumTgt
+}
+
+// decode routes a first-cell address for initiator i.
+func (n *Node) decode(addr uint64, i int) int {
+	if n.Cfg.ProgPort && addr >= n.Cfg.ProgBase && addr < n.Cfg.ProgBase+uint64(4*n.Cfg.NumInit) {
+		n.Code.Stmt("route.prog")
+		return routeProg
+	}
+	t := n.Cfg.Map.Route(addr)
+	if t < 0 {
+		n.Code.Stmt("route.unmapped")
+		return routeErr
+	}
+	if !n.Cfg.Connected(i, t) {
+		n.Code.Stmt("route.partial_blocked")
+		return routeErr
+	}
+	n.Code.Stmt("route.mapped")
+	return t
+}
+
+// orderOK enforces the Type 2 ordering rule: all outstanding packets of an
+// initiator must share one response source.
+func (n *Node) orderOK(i, src int) bool {
+	if n.Cfg.Port.Type != stbus.Type2 {
+		return true
+	}
+	for _, s := range n.ist[i].outstanding {
+		if s != src {
+			n.Code.Branch("elig.order", true)
+			return false
+		}
+	}
+	n.Code.Branch("elig.order", false)
+	return true
+}
+
+// tgtCanAccept reports whether target t's output register can take a cell
+// this cycle (empty, or draining because the target grants).
+func (n *Node) tgtCanAccept(t int) bool {
+	ok := !n.tst[t].outValid || n.Tgt[t].Gnt.Bool()
+	n.Code.Branch("elig.outreg", !ok)
+	return ok
+}
+
+// eligible evaluates the request-path grant conditions for initiator i
+// toward route (NODE-SPEC.md "Eligibility").
+func (n *Node) eligible(i, route int) bool {
+	st := &n.ist[i]
+	if st.inPacket {
+		n.Code.Stmt("grant.mid_packet")
+		if route >= 0 {
+			return n.tgtCanAccept(route)
+		}
+		return true // internal services always absorb mid-packet cells
+	}
+	n.Code.Stmt("grant.first_cell")
+	if !n.orderOK(i, n.srcIdx(route)) {
+		return false
+	}
+	if len(st.outstanding) >= n.Cfg.PipeSize {
+		n.Code.Branch("elig.pipe", true)
+		return false
+	}
+	n.Code.Branch("elig.pipe", false)
+	if route >= 0 {
+		lock := n.tst[route].lockInit
+		if lock != -1 && lock != i {
+			n.Code.Branch("elig.lock", true)
+			return false
+		}
+		n.Code.Branch("elig.lock", false)
+		return n.tgtCanAccept(route)
+	}
+	return true
+}
+
+// comb is the grant process: it plans routes, arbitrates and drives gnt and
+// r_gnt combinationally (NODE-SPEC.md "Request path" / "Response path").
+func (n *Node) comb() {
+	cfg := &n.Cfg
+	// ----- Request path: candidates -----
+	for i, p := range n.Init {
+		n.reqPlan[i] = routeNone
+		n.grant[i] = false
+		if !p.Req.Bool() {
+			continue
+		}
+		var route int
+		if n.ist[i].inPacket {
+			route = n.ist[i].route
+		} else {
+			route = n.decode(p.Add.U64(), i)
+		}
+		if n.eligible(i, route) {
+			n.reqPlan[i] = route
+		}
+	}
+	// ----- Request path: arbitration -----
+	if cfg.Arch == SharedBus {
+		n.Code.Stmt("arb.shared")
+		for i, p := range n.Init {
+			n.reqInG.Req[i] = n.reqPlan[i] != routeNone
+			n.reqInG.Pri[i] = uint8(p.Pri.U64())
+		}
+		w := n.reqArbG.Pick(n.reqInG)
+		for i := range n.grant {
+			if i == w {
+				n.grant[i] = true
+			} else {
+				n.reqPlan[i] = routeNone
+			}
+		}
+	} else {
+		n.Code.Stmt("arb.crossbar")
+		for i := range n.Init {
+			if n.reqPlan[i] == routeErr || n.reqPlan[i] == routeProg {
+				n.grant[i] = true // internal routes: no datapath contention
+			}
+		}
+		for t := range n.Tgt {
+			in := &n.reqIns[t]
+			for i, p := range n.Init {
+				in.Req[i] = n.reqPlan[i] == t
+				in.Pri[i] = uint8(p.Pri.U64())
+			}
+			w := n.reqArbs[t].Pick(*in)
+			for i := range n.Init {
+				if n.reqPlan[i] != t {
+					continue
+				}
+				if i == w {
+					n.grant[i] = true
+				} else {
+					n.reqPlan[i] = routeNone
+				}
+			}
+		}
+	}
+	for i, p := range n.Init {
+		p.Gnt.SetBool(n.grant[i])
+	}
+
+	// ----- Response path: candidates per initiator -----
+	for t := range n.Tgt {
+		n.rgnt[t] = false
+	}
+	eligibleSrc := func(i, s int) bool {
+		st := &n.ist[i]
+		if len(st.outstanding) == 0 {
+			return false
+		}
+		if st.respLocked && s != st.respSrc {
+			return false
+		}
+		if cfg.Port.Type == stbus.Type2 && s != st.outstanding[0] {
+			return false
+		}
+		if s == cfg.NumTgt {
+			return len(st.intQ) > 0
+		}
+		return n.Tgt[s].RReq.Bool() && n.srcMap[uint8(n.Tgt[s].RSrc.U64())] == int16(i)
+	}
+	avail := func(i int) bool {
+		st := &n.ist[i]
+		return !st.respValid || n.Init[i].RGnt.Bool()
+	}
+	chooseSrc := func(i int) int {
+		in := &n.respIns[i]
+		any := false
+		for s := 0; s <= cfg.NumTgt; s++ {
+			in.Req[s] = eligibleSrc(i, s)
+			any = any || in.Req[s]
+		}
+		if !any {
+			return -1
+		}
+		return n.respArbs[i].Pick(*in)
+	}
+	for i := range n.Init {
+		n.respPlan[i] = -1
+	}
+	if cfg.Arch == SharedBus {
+		for i := range n.Init {
+			n.respInG.Req[i] = false
+			if !avail(i) {
+				continue
+			}
+			for s := 0; s <= cfg.NumTgt; s++ {
+				if eligibleSrc(i, s) {
+					n.respInG.Req[i] = true
+					break
+				}
+			}
+		}
+		if w := n.respArbG.Pick(n.respInG); w >= 0 {
+			n.respPlan[w] = chooseSrc(w)
+		}
+	} else {
+		for i := range n.Init {
+			if avail(i) {
+				n.respPlan[i] = chooseSrc(i)
+			}
+		}
+	}
+	for i := range n.Init {
+		if s := n.respPlan[i]; s >= 0 && s < cfg.NumTgt {
+			n.Code.Stmt("resp.target")
+			n.rgnt[s] = true
+		} else if s == cfg.NumTgt {
+			n.Code.Stmt("resp.internal")
+		}
+	}
+	for t, p := range n.Tgt {
+		p.RGnt.SetBool(n.rgnt[t])
+	}
+}
+
+// seq is the state process: it commits the transfers the settled grant plan
+// implies, updates packet/lock/outstanding bookkeeping, advances the
+// arbiters and drives the registered outputs.
+func (n *Node) seq() {
+	cfg := &n.Cfg
+	// 1) Drain target output registers accepted by their targets.
+	for t, p := range n.Tgt {
+		if n.tst[t].outValid && p.ReqFire() {
+			n.Code.Line("seq.tgt_drain")
+			n.tst[t].outValid = false
+		}
+	}
+	// 2) Deliver response cells accepted by initiators.
+	for i, p := range n.Init {
+		st := &n.ist[i]
+		if st.respValid && p.RespFire() {
+			n.Code.Line("seq.resp_deliver")
+			if st.respCell.EOP {
+				n.popOutstanding(i, st.respSrc)
+				st.respLocked = false
+			}
+			st.respValid = false
+		}
+	}
+	// 3) Capture granted request cells.
+	for i, p := range n.Init {
+		if !p.ReqFire() {
+			continue
+		}
+		cell := p.SampleCell()
+		route := n.reqPlan[i]
+		st := &n.ist[i]
+		if !st.inPacket {
+			st.outstanding = append(st.outstanding, n.srcIdx(route))
+			n.srcMap[cell.Src] = int16(i)
+		}
+		switch {
+		case route >= 0:
+			n.Code.Line("seq.req_forward")
+			// A chunk lock held elsewhere by i is released when i opens a
+			// packet to a different target (defensive: misbehaving chunk).
+			if !st.inPacket {
+				for u := range n.tst {
+					if u != route && n.tst[u].lockInit == i {
+						n.Code.Stmt("chunk.release_elsewhere")
+						n.tst[u].lockInit = -1
+					}
+				}
+			}
+			ts := &n.tst[route]
+			ts.outCell = cell
+			ts.outValid = true
+			ts.lockInit = i
+			if cell.EOP {
+				if cell.Lck {
+					n.Code.Branch("chunk.hold", true)
+				} else {
+					n.Code.Branch("chunk.hold", false)
+					ts.lockInit = -1
+				}
+			}
+			st.inPacket = !cell.EOP
+			st.route = route
+		default:
+			n.Code.Line("seq.req_internal")
+			st.intCells = append(st.intCells, cell)
+			st.inPacket = !cell.EOP
+			st.route = route
+			if cell.EOP {
+				n.serveInternal(i, route)
+				st.intCells = nil
+			}
+		}
+	}
+	// 4) Accept planned response cells into the response registers.
+	for i := range n.Init {
+		s := n.respPlan[i]
+		if s < 0 {
+			continue
+		}
+		st := &n.ist[i]
+		var cell stbus.RespCell
+		if s < cfg.NumTgt {
+			if !n.Tgt[s].RespFire() {
+				continue
+			}
+			cell = n.Tgt[s].SampleResp()
+		} else {
+			cell = st.intQ[0]
+			st.intQ = st.intQ[1:]
+		}
+		n.Code.Line("seq.resp_load")
+		st.respCell = cell
+		st.respValid = true
+		st.respSrc = s
+		st.respLocked = !cell.EOP
+	}
+	// 5) Advance the arbiters once per cycle.
+	if cfg.Arch == SharedBus {
+		wg := -1
+		for i, g := range n.grant {
+			if g {
+				wg = i
+			}
+		}
+		n.reqArbG.Tick(n.reqInG, wg)
+		wr := -1
+		for i, s := range n.respPlan {
+			if s >= 0 {
+				wr = i
+			}
+		}
+		n.respArbG.Tick(n.respInG, wr)
+	} else {
+		for t := range n.Tgt {
+			w := -1
+			for i, g := range n.grant {
+				if g && n.reqPlan[i] == t {
+					w = i
+				}
+			}
+			n.reqArbs[t].Tick(n.reqIns[t], w)
+		}
+	}
+	for i := range n.Init {
+		n.respArbs[i].Tick(n.respIns[i], n.respPlan[i])
+	}
+	// 6) Drive registered outputs.
+	for t, p := range n.Tgt {
+		if n.tst[t].outValid {
+			p.DriveCell(n.tst[t].outCell)
+		} else {
+			p.IdleReq()
+		}
+	}
+	for i, p := range n.Init {
+		if n.ist[i].respValid {
+			p.DriveResp(n.ist[i].respCell)
+		} else {
+			p.IdleResp()
+		}
+	}
+	// 7) Re-trigger the grant process for the new state.
+	n.tick.SetU64(n.tick.U64() + 1)
+}
+
+// popOutstanding removes the oldest outstanding entry with the given source.
+func (n *Node) popOutstanding(i, src int) {
+	st := &n.ist[i]
+	for k, s := range st.outstanding {
+		if s == src {
+			st.outstanding = append(st.outstanding[:k], st.outstanding[k+1:]...)
+			return
+		}
+	}
+	n.Code.Stmt("seq.orphan_response")
+}
+
+// serveInternal runs the node's internal services at the edge completing a
+// request packet: the error responder and the register decoder.
+func (n *Node) serveInternal(i, route int) {
+	cfg := &n.Cfg
+	st := &n.ist[i]
+	first := st.intCells[0]
+	op, addr := first.Opc, first.Addr
+	buildErr := func() []stbus.RespCell {
+		cells, err := stbus.BuildResponse(cfg.Port.Type, cfg.Port.Endian, op, addr, nil,
+			cfg.Port.BusBytes(), first.TID, first.Src, true)
+		if err != nil {
+			// Unbuildable (e.g. invalid opcode field): answer a single error
+			// cell so the initiator is never left hanging.
+			return []stbus.RespCell{{ROpc: stbus.RespError, EOP: true, TID: first.TID, Src: first.Src}}
+		}
+		return cells
+	}
+	if route == routeErr {
+		n.Code.Line("int.error_packet")
+		st.intQ = append(st.intQ, buildErr()...)
+		return
+	}
+	// Register decoder.
+	off := addr - cfg.ProgBase
+	idx := int(off / 4)
+	switch {
+	case op == stbus.ST4 && idx < cfg.NumInit:
+		n.Code.Line("int.prog_write")
+		data := stbus.ExtractWriteData(cfg.Port.Endian, st.intCells, cfg.Port.BusBytes())
+		val := data[0] & 0xf
+		n.progRegs[idx] = val
+		if n.prog != nil {
+			if err := n.prog.SetPriority(idx, val); err != nil {
+				st.intQ = append(st.intQ, buildErr()...)
+				return
+			}
+		}
+		cells, _ := stbus.BuildResponse(cfg.Port.Type, cfg.Port.Endian, op, addr, nil,
+			cfg.Port.BusBytes(), first.TID, first.Src, false)
+		st.intQ = append(st.intQ, cells...)
+	case op == stbus.LD4 && idx < cfg.NumInit:
+		n.Code.Line("int.prog_read")
+		data := []byte{n.progRegs[idx], 0, 0, 0}
+		cells, _ := stbus.BuildResponse(cfg.Port.Type, cfg.Port.Endian, op, addr, data,
+			cfg.Port.BusBytes(), first.TID, first.Src, false)
+		st.intQ = append(st.intQ, cells...)
+	default:
+		n.Code.Line("int.prog_bad_access")
+		st.intQ = append(st.intQ, buildErr()...)
+	}
+}
+
+// PriorityRegs returns a copy of the programming-port register file.
+func (n *Node) PriorityRegs() []uint8 {
+	out := make([]uint8, len(n.progRegs))
+	copy(out, n.progRegs)
+	return out
+}
+
+// Outstanding returns the number of in-flight packets of initiator i,
+// exposed for tests and checkers.
+func (n *Node) Outstanding(i int) int { return len(n.ist[i].outstanding) }
+
+// declareCoverage pre-declares every code-coverage point of the node and
+// justifies the ones unreachable under this configuration, mirroring the
+// paper's "100 % of justified code" line-coverage goal.
+func (n *Node) declareCoverage() {
+	m := n.Code
+	stmts := []string{
+		"route.prog", "route.unmapped", "route.partial_blocked", "route.mapped",
+		"grant.mid_packet", "grant.first_cell",
+		"arb.shared", "arb.crossbar",
+		"resp.target", "resp.internal",
+		"chunk.release_elsewhere", "seq.orphan_response",
+	}
+	for _, s := range stmts {
+		m.Declare(coverage.StmtPoint, s)
+	}
+	lines := []string{
+		"seq.tgt_drain", "seq.resp_deliver", "seq.req_forward", "seq.req_internal",
+		"seq.resp_load", "int.error_packet", "int.prog_write", "int.prog_read",
+		"int.prog_bad_access",
+	}
+	for _, l := range lines {
+		m.Declare(coverage.LinePoint, l)
+	}
+	branches := []string{"elig.order", "elig.outreg", "elig.pipe", "elig.lock", "chunk.hold"}
+	for _, b := range branches {
+		m.Declare(coverage.BranchPoint, b)
+	}
+	// Configuration-dependent justifications.
+	if !n.Cfg.ProgPort {
+		for _, p := range []string{"route.prog", "int.prog_write", "int.prog_read", "int.prog_bad_access"} {
+			_ = m.Justify(p)
+		}
+	}
+	if n.Cfg.Arch != PartialCrossbar {
+		_ = m.Justify("route.partial_blocked")
+	}
+	if n.Cfg.Arch == SharedBus {
+		_ = m.Justify("arb.crossbar")
+	} else {
+		_ = m.Justify("arb.shared")
+	}
+	if n.Cfg.Port.Type != stbus.Type2 {
+		_ = m.Justify("elig.order")
+	}
+	// Defensive paths not reachable from spec-conforming harnesses.
+	_ = m.Justify("chunk.release_elsewhere")
+	_ = m.Justify("seq.orphan_response")
+}

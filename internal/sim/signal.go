@@ -1,0 +1,70 @@
+package sim
+
+import "fmt"
+
+// Signal is a named, width-checked wire with SystemC signal semantics:
+// reads observe the value committed at the previous delta, and writes take
+// effect at the next delta boundary. Signals are created by
+// (*Simulator).Signal and are owned by exactly one Simulator.
+type Signal struct {
+	sim   *Simulator
+	id    int
+	name  string
+	width int
+
+	cur     Bits
+	next    Bits
+	pending bool
+
+	// sensitive holds the combinational processes to wake when the
+	// committed value changes.
+	sensitive []*process
+}
+
+// Name returns the hierarchical signal name.
+func (s *Signal) Name() string { return s.name }
+
+// Width returns the signal width in bits.
+func (s *Signal) Width() int { return s.width }
+
+// ID returns the simulator-unique dense signal index, usable as a slice key
+// by tracers and monitors.
+func (s *Signal) ID() int { return s.id }
+
+// Get returns the current committed value.
+func (s *Signal) Get() Bits { return s.cur }
+
+// U64 returns the low 64 bits of the current committed value.
+func (s *Signal) U64() uint64 { return s.cur.Uint64() }
+
+// Bool reports whether the current committed value is non-zero.
+func (s *Signal) Bool() bool { return s.cur.Bool() }
+
+// Set schedules v (masked to the signal width) to be committed at the next
+// delta boundary. Writing the current value cancels any pending change, like
+// a SystemC sc_signal write of an equal value.
+func (s *Signal) Set(v Bits) {
+	v = v.Mask(s.width)
+	if !s.pending {
+		if v.Equal(s.cur) {
+			return
+		}
+		s.pending = true
+		s.sim.pending = append(s.sim.pending, s)
+	}
+	s.next = v
+}
+
+// SetU64 schedules the low 64 bits.
+func (s *Signal) SetU64(v uint64) { s.Set(B64(v)) }
+
+// SetBool schedules a single-bit value.
+func (s *Signal) SetBool(v bool) { s.Set(BBool(v)) }
+
+// force installs a value immediately, bypassing delta semantics. It is only
+// used by the kernel for initialisation before time starts.
+func (s *Signal) force(v Bits) { s.cur = v.Mask(s.width) }
+
+func (s *Signal) String() string {
+	return fmt.Sprintf("%s[%d]=%s", s.name, s.width, s.cur)
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultMaxDeltas bounds the number of delta cycles the kernel will run
+// within a single clock cycle before declaring combinational oscillation.
+const DefaultMaxDeltas = 1000
+
+// ErrOscillation is returned by Step and Run when combinational processes
+// fail to reach a fixed point within MaxDeltas delta cycles, i.e. the design
+// contains an unstable combinational loop.
+var ErrOscillation = errors.New("sim: combinational logic did not settle (oscillation)")
+
+type process struct {
+	name string
+	fn   func()
+	seq  bool
+	inQ  bool
+}
+
+// Simulator owns a set of signals and processes and advances them under a
+// single implicit synchronous clock. Cycle numbering starts at 0; within each
+// cycle the kernel:
+//
+//  1. runs every sequential process once (they observe values settled at the
+//     end of the previous cycle),
+//  2. commits scheduled signal updates and wakes sensitive combinational
+//     processes, repeating until no signal changes (delta loop),
+//  3. invokes end-of-cycle hooks (monitors, tracers) which observe the fully
+//     settled cycle.
+type Simulator struct {
+	signals []*Signal
+	seqs    []*process
+	pending []*Signal
+	runQ    []*process
+	hooks   []func()
+
+	cycle     uint64
+	started   bool
+	MaxDeltas int
+
+	// DeltaCount accumulates the total number of delta iterations executed,
+	// exposed for the kernel-convergence ablation benchmarks.
+	DeltaCount uint64
+}
+
+// New returns an empty simulator.
+func New() *Simulator {
+	return &Simulator{MaxDeltas: DefaultMaxDeltas}
+}
+
+// Signal creates a new signal with the given hierarchical name and bit width.
+func (sm *Simulator) Signal(name string, width int) *Signal {
+	if width <= 0 || width > MaxBitsWidth {
+		panic(fmt.Sprintf("sim: signal %q width %d out of range 1..%d", name, width, MaxBitsWidth))
+	}
+	s := &Signal{sim: sm, id: len(sm.signals), name: name, width: width}
+	sm.signals = append(sm.signals, s)
+	return s
+}
+
+// Bool creates a 1-bit signal.
+func (sm *Simulator) Bool(name string) *Signal { return sm.Signal(name, 1) }
+
+// Signals returns all signals in creation order. The returned slice is owned
+// by the simulator and must not be mutated.
+func (sm *Simulator) Signals() []*Signal { return sm.signals }
+
+// Cycle returns the number of completed clock cycles.
+func (sm *Simulator) Cycle() uint64 { return sm.cycle }
+
+// Seq registers a sequential (clocked) process, run once per cycle in
+// registration order.
+func (sm *Simulator) Seq(name string, fn func()) {
+	sm.seqs = append(sm.seqs, &process{name: name, fn: fn, seq: true})
+}
+
+// Comb registers a combinational process sensitive to the given signals. The
+// process runs whenever any of them changes, and once at the start of
+// simulation to establish initial outputs.
+func (sm *Simulator) Comb(name string, fn func(), sensitivity ...*Signal) {
+	p := &process{name: name, fn: fn}
+	for _, s := range sensitivity {
+		if s.sim != sm {
+			panic(fmt.Sprintf("sim: process %q sensitive to foreign signal %q", name, s.name))
+		}
+		s.sensitive = append(s.sensitive, p)
+	}
+	// Run once at time zero so outputs are defined before the first cycle.
+	sm.wake(p)
+}
+
+// AtCycleEnd registers a read-only observer hook invoked after each cycle
+// fully settles (monitors, tracers, checkers). Hooks must not drive signals:
+// a hook write would re-settle combinational logic after other observers
+// already sampled it, making "the value of the cycle" ambiguous. Anything
+// that drives signals — bus functional models included — belongs in a Seq
+// process.
+func (sm *Simulator) AtCycleEnd(fn func()) {
+	sm.hooks = append(sm.hooks, fn)
+}
+
+func (sm *Simulator) wake(p *process) {
+	if !p.inQ {
+		p.inQ = true
+		sm.runQ = append(sm.runQ, p)
+	}
+}
+
+// settle commits pending writes and runs woken combinational processes until
+// a fixed point.
+func (sm *Simulator) settle() error {
+	for delta := 0; ; delta++ {
+		if delta > sm.MaxDeltas {
+			return fmt.Errorf("%w after %d deltas at cycle %d", ErrOscillation, delta, sm.cycle)
+		}
+		// Evaluate phase: run every queued process.
+		q := sm.runQ
+		sm.runQ = nil
+		for _, p := range q {
+			p.inQ = false
+			p.fn()
+		}
+		// Update phase: commit writes, wake sensitive processes.
+		pend := sm.pending
+		sm.pending = nil
+		changed := false
+		for _, s := range pend {
+			s.pending = false
+			if s.next.Equal(s.cur) {
+				continue
+			}
+			s.cur = s.next
+			changed = true
+			for _, p := range s.sensitive {
+				sm.wake(p)
+			}
+		}
+		sm.DeltaCount++
+		if !changed && len(sm.runQ) == 0 {
+			return nil
+		}
+	}
+}
+
+// Step advances the simulation by one clock cycle.
+func (sm *Simulator) Step() error {
+	if !sm.started {
+		sm.started = true
+		// Settle initial combinational state before the first edge.
+		if err := sm.settle(); err != nil {
+			return err
+		}
+	}
+	for _, p := range sm.seqs {
+		p.fn()
+	}
+	if err := sm.settle(); err != nil {
+		return err
+	}
+	sm.cycle++
+	for _, h := range sm.hooks {
+		h()
+	}
+	if len(sm.pending) > 0 {
+		return fmt.Errorf("sim: cycle-end hook drove signal %q; hooks are read-only observers, use a Seq process", sm.pending[0].name)
+	}
+	return nil
+}
+
+// Run advances the simulation n cycles, stopping early on error.
+func (sm *Simulator) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := sm.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil advances the simulation until done reports true or the cycle
+// limit is hit, returning an error in the latter case.
+func (sm *Simulator) RunUntil(done func() bool, limit int) error {
+	for i := 0; i < limit; i++ {
+		if done() {
+			return nil
+		}
+		if err := sm.Step(); err != nil {
+			return err
+		}
+	}
+	if done() {
+		return nil
+	}
+	return fmt.Errorf("sim: condition not reached within %d cycles", limit)
+}

@@ -1,0 +1,128 @@
+package stba
+
+import (
+	"fmt"
+
+	"crve/internal/stbus"
+	"crve/internal/vcd"
+)
+
+// PortTrace is the cycle-sampled signal view of one STBus port inside a VCD
+// dump.
+type PortTrace struct {
+	f      *vcd.File
+	prefix string
+	idx    map[string]int
+}
+
+// OpenPort binds the named port prefix inside a dump.
+func OpenPort(f *vcd.File, prefix string) (*PortTrace, error) {
+	pt := &PortTrace{f: f, prefix: prefix, idx: map[string]int{}}
+	for _, leaf := range []string{"req", "gnt", "opc", "add", "data", "be", "eop", "lck",
+		"tid", "src", "pri", "r_req", "r_gnt", "r_opc", "r_data", "r_eop", "r_tid", "r_src"} {
+		i := f.VarIndex(prefix + "." + leaf)
+		if i < 0 {
+			return nil, fmt.Errorf("stba: port %q lacks signal %q", prefix, leaf)
+		}
+		pt.idx[leaf] = i
+	}
+	return pt, nil
+}
+
+func (pt *PortTrace) at(leaf string, cyc uint64) uint64 {
+	return pt.f.ValueAt(pt.idx[leaf], cyc*vcd.TimePerCycle).Uint64()
+}
+
+func (pt *PortTrace) bitsAt(leaf string, cyc uint64) (v uint64, b bool) {
+	x := pt.f.ValueAt(pt.idx[leaf], cyc*vcd.TimePerCycle)
+	return x.Uint64(), x.Bool()
+}
+
+// ExtractTransactions reconstructs the transaction stream observed at a port
+// from a waveform dump — the "STBus transaction information" the paper's
+// analyzer extracts. typ selects the protocol rules used to pair responses
+// with requests.
+func ExtractTransactions(f *vcd.File, prefix string, typ stbus.Type) ([]*stbus.Transaction, error) {
+	pt, err := OpenPort(f, prefix)
+	if err != nil {
+		return nil, err
+	}
+	type pend struct {
+		tr *stbus.Transaction
+	}
+	var pending []*pend
+	var out []*stbus.Transaction
+	var reqStart uint64
+	inReq := false
+	var reqFirstOpc stbus.Opcode
+	var reqFirstAddr uint64
+	var reqFirstTID, reqFirstSrc, reqFirstPri uint8
+	var reqLck bool
+	inResp := false
+	var respErr bool
+	var respTID, respSrc uint8
+
+	cycles := f.Cycles()
+	for cyc := uint64(0); cyc < cycles; cyc++ {
+		reqFire := pt.at("req", cyc) != 0 && pt.at("gnt", cyc) != 0
+		if reqFire {
+			if !inReq {
+				inReq = true
+				reqStart = cyc
+				reqFirstOpc = stbus.Opcode(pt.at("opc", cyc))
+				reqFirstAddr = pt.at("add", cyc)
+				reqFirstTID = uint8(pt.at("tid", cyc))
+				reqFirstSrc = uint8(pt.at("src", cyc))
+				reqFirstPri = uint8(pt.at("pri", cyc))
+			}
+			if _, lck := pt.bitsAt("lck", cyc); lck {
+				reqLck = true
+			}
+			if _, eop := pt.bitsAt("eop", cyc); eop {
+				tr := &stbus.Transaction{
+					Initiator: -1, Target: -1,
+					Opc: reqFirstOpc, Addr: reqFirstAddr,
+					TID: reqFirstTID, Src: reqFirstSrc, Pri: reqFirstPri,
+					Lck: reqLck, StartCycle: reqStart, ReqEndCycle: cyc,
+				}
+				pending = append(pending, &pend{tr: tr})
+				inReq = false
+				reqLck = false
+			}
+		}
+		respFire := pt.at("r_req", cyc) != 0 && pt.at("r_gnt", cyc) != 0
+		if respFire {
+			if !inResp {
+				inResp = true
+				respErr = false
+				respTID = uint8(pt.at("r_tid", cyc))
+				respSrc = uint8(pt.at("r_src", cyc))
+			}
+			if stbus.IsErrorResp(uint8(pt.at("r_opc", cyc))) {
+				respErr = true
+			}
+			if _, eop := pt.bitsAt("r_eop", cyc); eop {
+				inResp = false
+				idx := -1
+				if typ == stbus.Type3 {
+					for k, pd := range pending {
+						if pd.tr.Src == respSrc && pd.tr.TID == respTID {
+							idx = k
+							break
+						}
+					}
+				} else if len(pending) > 0 {
+					idx = 0
+				}
+				if idx >= 0 {
+					pd := pending[idx]
+					pending = append(pending[:idx], pending[idx+1:]...)
+					pd.tr.EndCycle = cyc
+					pd.tr.Err = respErr
+					out = append(out, pd.tr)
+				}
+			}
+		}
+	}
+	return out, nil
+}

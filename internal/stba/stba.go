@@ -1,0 +1,227 @@
+// Package stba implements the STBus Analyzer of the paper: the internal tool
+// that, after a regression run of both models, "extracts from VCD files ...
+// STBus transaction information" and computes, for each port, the alignment
+// rate — "the number of cycles RTL and BCA signals port are aligned over
+// total number of clock cycles". The sign-off target for a BCA model is a
+// rate of at least 99 % on every port (SignoffRate).
+package stba
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crve/internal/vcd"
+)
+
+// SignoffRate is the per-port alignment threshold (percent) the paper uses
+// to consider a BCA model signed off.
+const SignoffRate = 99.0
+
+// PortAlignment is the comparison result of one port.
+type PortAlignment struct {
+	Port    string
+	Signals int
+	// Cycles is the number of compared clock cycles.
+	Cycles uint64
+	// Aligned counts cycles where every signal of the port matched.
+	Aligned uint64
+	// FirstDivergence is the first differing cycle, or -1.
+	FirstDivergence int64
+	// FirstDiverging lists the signal names that differ at FirstDivergence,
+	// the analyzer's debugging aid.
+	FirstDiverging []string
+}
+
+// Rate returns the alignment percentage (100 for an empty comparison).
+func (pa PortAlignment) Rate() float64 {
+	if pa.Cycles == 0 {
+		return 100
+	}
+	return 100 * float64(pa.Aligned) / float64(pa.Cycles)
+}
+
+// Pass reports whether the port meets the sign-off rate.
+func (pa PortAlignment) Pass() bool { return pa.Rate() >= SignoffRate }
+
+// Report is a full two-dump comparison.
+type Report struct {
+	Ports []PortAlignment
+}
+
+// AllPass reports whether every port meets the sign-off rate.
+func (r *Report) AllPass() bool {
+	for _, p := range r.Ports {
+		if !p.Pass() {
+			return false
+		}
+	}
+	return true
+}
+
+// MinRate returns the worst per-port rate (100 when no ports).
+func (r *Report) MinRate() float64 {
+	min := 100.0
+	for _, p := range r.Ports {
+		if rate := p.Rate(); rate < min {
+			min = rate
+		}
+	}
+	return min
+}
+
+// String renders the per-port table the regression tool prints.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("port                              signals  cycles  aligned    rate  verdict\n")
+	for _, p := range r.Ports {
+		verdict := "PASS"
+		if !p.Pass() {
+			verdict = "FAIL"
+		}
+		div := ""
+		if p.FirstDivergence >= 0 {
+			div = fmt.Sprintf("  (first divergence @%d", p.FirstDivergence)
+			if len(p.FirstDiverging) > 0 {
+				max := p.FirstDiverging
+				if len(max) > 3 {
+					max = max[:3]
+				}
+				div += ": " + strings.Join(max, ",")
+			}
+			div += ")"
+		}
+		fmt.Fprintf(&sb, "%-32s %7d %7d %8d %6.2f%%  %s%s\n",
+			p.Port, p.Signals, p.Cycles, p.Aligned, p.Rate(), verdict, div)
+	}
+	return sb.String()
+}
+
+// DiscoverPorts finds STBus port prefixes in a dump: every scope that
+// contains both a "req" and a "gnt" wire.
+func DiscoverPorts(f *vcd.File) []string {
+	seen := map[string]int{}
+	for _, v := range f.Vars {
+		dot := strings.LastIndexByte(v.Name, '.')
+		if dot < 0 {
+			continue
+		}
+		prefix, leaf := v.Name[:dot], v.Name[dot+1:]
+		if leaf == "req" {
+			seen[prefix] |= 1
+		}
+		if leaf == "gnt" {
+			seen[prefix] |= 2
+		}
+	}
+	var ports []string
+	for p, mask := range seen {
+		if mask == 3 {
+			ports = append(ports, p)
+		}
+	}
+	sort.Strings(ports)
+	return ports
+}
+
+// Compare computes per-port alignment between two dumps over the given port
+// prefixes (DiscoverPorts(a) when nil). Comparison runs for the cycles both
+// dumps cover.
+func Compare(a, b *vcd.File, ports []string) (*Report, error) {
+	if ports == nil {
+		ports = DiscoverPorts(a)
+	}
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("stba: no STBus ports found")
+	}
+	cycles := a.Cycles()
+	if bc := b.Cycles(); bc < cycles {
+		cycles = bc
+	}
+	rep := &Report{}
+	for _, port := range ports {
+		var pairs [][2]int
+		for ai, v := range a.Vars {
+			if !strings.HasPrefix(v.Name, port+".") {
+				continue
+			}
+			bi := b.VarIndex(v.Name)
+			if bi < 0 {
+				return nil, fmt.Errorf("stba: signal %q missing from second dump", v.Name)
+			}
+			pairs = append(pairs, [2]int{ai, bi})
+		}
+		if len(pairs) == 0 {
+			return nil, fmt.Errorf("stba: port %q has no signals", port)
+		}
+		pa := PortAlignment{Port: port, Signals: len(pairs), Cycles: cycles, FirstDivergence: -1}
+		for cyc := uint64(0); cyc < cycles; cyc++ {
+			time := cyc * vcd.TimePerCycle
+			ok := true
+			for _, pr := range pairs {
+				if !a.ValueAt(pr[0], time).Equal(b.ValueAt(pr[1], time)) {
+					ok = false
+					if pa.FirstDivergence < 0 {
+						pa.FirstDiverging = append(pa.FirstDiverging, a.Vars[pr[0]].Name)
+						continue
+					}
+					break
+				}
+			}
+			if ok {
+				pa.Aligned++
+			} else if pa.FirstDivergence < 0 {
+				pa.FirstDivergence = int64(cyc)
+			}
+		}
+		rep.Ports = append(rep.Ports, pa)
+	}
+	return rep, nil
+}
+
+// SignalRate is the alignment rate of one signal across a comparison.
+type SignalRate struct {
+	Signal  string
+	Cycles  uint64
+	Aligned uint64
+}
+
+// Rate returns the per-signal alignment percentage.
+func (sr SignalRate) Rate() float64 {
+	if sr.Cycles == 0 {
+		return 100
+	}
+	return 100 * float64(sr.Aligned) / float64(sr.Cycles)
+}
+
+// SignalRates breaks a port's alignment down signal by signal — the
+// analyzer's drill-down view once a port fails the sign-off rate.
+func SignalRates(a, b *vcd.File, port string) ([]SignalRate, error) {
+	cycles := a.Cycles()
+	if bc := b.Cycles(); bc < cycles {
+		cycles = bc
+	}
+	var out []SignalRate
+	for ai, v := range a.Vars {
+		if !strings.HasPrefix(v.Name, port+".") {
+			continue
+		}
+		bi := b.VarIndex(v.Name)
+		if bi < 0 {
+			return nil, fmt.Errorf("stba: signal %q missing from second dump", v.Name)
+		}
+		sr := SignalRate{Signal: v.Name, Cycles: cycles}
+		for cyc := uint64(0); cyc < cycles; cyc++ {
+			time := cyc * vcd.TimePerCycle
+			if a.ValueAt(ai, time).Equal(b.ValueAt(bi, time)) {
+				sr.Aligned++
+			}
+		}
+		out = append(out, sr)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stba: port %q has no signals", port)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rate() < out[j].Rate() })
+	return out, nil
+}

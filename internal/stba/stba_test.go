@@ -1,0 +1,248 @@
+package stba
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/catg"
+	"crve/internal/nodespec"
+	"crve/internal/rtl"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+	"crve/internal/vcd"
+)
+
+func nodeCfg() nodespec.Config {
+	return nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 2, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		Map: stbus.UniformMap(2, 0x1000, 0x1000),
+	}.WithDefaults()
+}
+
+// runView runs one DUT view under the shared CATG bench, dumping the node's
+// ports to a VCD buffer.
+func runView(t *testing.T, cfg nodespec.Config, bugs *bca.Bugs, seed int64, cycles int) *vcd.File {
+	t.Helper()
+	sm := sim.New()
+	var initPorts, tgtPorts []*stbus.Port
+	if bugs == nil {
+		n, err := rtl.NewNode(sim.Root(sm), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initPorts, tgtPorts = n.Init, n.Tgt
+	} else {
+		n, err := bca.NewNode(sim.Root(sm), cfg, *bugs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initPorts, tgtPorts = n.Init, n.Tgt
+	}
+	var buf bytes.Buffer
+	wr := vcd.NewWriter(&buf, "tb")
+	var bfms []*catg.InitiatorBFM
+	for i, p := range initPorts {
+		ops := catg.GenerateOps(cfg, catg.TrafficConfig{Ops: 25, UnmappedPct: 4, IdlePct: 10}, i, seed)
+		bfms = append(bfms, catg.NewInitiatorBFM(sm, p, ops))
+		for _, s := range p.Signals() {
+			wr.Declare(s)
+		}
+	}
+	for ti, p := range tgtPorts {
+		catg.NewTargetBFM(sm, p, catg.TargetConfig{MinLatency: 1, MaxLatency: 5, GntGapPct: 15},
+			seed*17+int64(ti))
+		for _, s := range p.Signals() {
+			wr.Declare(s)
+		}
+	}
+	wr.Attach(sm)
+	if err := sm.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := vcd.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAlignmentBugFreeIs100(t *testing.T) {
+	cfg := nodeCfg()
+	fr := runView(t, cfg, nil, 5, 1500)
+	fb := runView(t, cfg, &bca.Bugs{}, 5, 1500)
+	rep, err := Compare(fr, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ports) != 4 {
+		t.Fatalf("%d ports discovered, want 4\n%s", len(rep.Ports), rep)
+	}
+	if !rep.AllPass() {
+		t.Errorf("bug-free comparison below sign-off:\n%s", rep)
+	}
+	if rep.MinRate() != 100 {
+		t.Errorf("bug-free views should align 100%%, got %.2f\n%s", rep.MinRate(), rep)
+	}
+}
+
+func TestAlignmentDropsWithBug(t *testing.T) {
+	cfg := nodeCfg()
+	fr := runView(t, cfg, nil, 5, 1500)
+	fb := runView(t, cfg, &bca.Bugs{LRUInit: true}, 5, 1500)
+	rep, err := Compare(fr, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MinRate() == 100 {
+		t.Errorf("bugged comparison should diverge:\n%s", rep)
+	}
+	found := false
+	for _, p := range rep.Ports {
+		if p.FirstDivergence >= 0 {
+			found = true
+			if len(p.FirstDiverging) == 0 {
+				t.Errorf("port %s diverged at %d but no diverging signals listed",
+					p.Port, p.FirstDivergence)
+			}
+		}
+	}
+	if !found {
+		t.Error("no first-divergence cycle recorded")
+	}
+}
+
+func TestDiscoverPorts(t *testing.T) {
+	f := runView(t, nodeCfg(), nil, 9, 200)
+	ports := DiscoverPorts(f)
+	want := []string{"node.init0", "node.init1", "node.tgt0", "node.tgt1"}
+	if len(ports) != len(want) {
+		t.Fatalf("ports = %v", ports)
+	}
+	for i := range want {
+		if ports[i] != want[i] {
+			t.Fatalf("ports = %v, want %v", ports, want)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	f := runView(t, nodeCfg(), nil, 9, 100)
+	empty := &vcd.File{}
+	if _, err := Compare(empty, f, nil); err == nil {
+		t.Error("comparing empty dump should fail")
+	}
+	if _, err := Compare(f, empty, []string{"node.init0"}); err == nil {
+		t.Error("missing signals in second dump should fail")
+	}
+	if _, err := Compare(f, f, []string{"nosuch.port"}); err == nil {
+		t.Error("unknown port should fail")
+	}
+}
+
+func TestSelfCompareIsAligned(t *testing.T) {
+	f := runView(t, nodeCfg(), nil, 3, 800)
+	rep, err := Compare(f, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MinRate() != 100 || !rep.AllPass() {
+		t.Errorf("self comparison must be 100%%:\n%s", rep)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{Ports: []PortAlignment{
+		{Port: "node.init0", Signals: 18, Cycles: 1000, Aligned: 1000, FirstDivergence: -1},
+		{Port: "node.init1", Signals: 18, Cycles: 1000, Aligned: 950, FirstDivergence: 77},
+	}}
+	s := rep.String()
+	for _, want := range []string{"PASS", "FAIL", "95.00%", "@77"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if rep.AllPass() {
+		t.Error("report with 95% port should not pass")
+	}
+	if rep.MinRate() != 95 {
+		t.Errorf("min rate %f", rep.MinRate())
+	}
+}
+
+func TestExtractTransactions(t *testing.T) {
+	cfg := nodeCfg()
+	f := runView(t, cfg, nil, 21, 2000)
+	txs, err := ExtractTransactions(f, "node.init0", cfg.Port.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) == 0 {
+		t.Fatal("no transactions extracted")
+	}
+	for _, tr := range txs {
+		if !tr.Opc.Valid() {
+			t.Errorf("invalid opcode in %v", tr)
+		}
+		if tr.EndCycle < tr.ReqEndCycle {
+			t.Errorf("bad cycle stamps in %v", tr)
+		}
+	}
+	// The waveform-extracted stream must agree with a live monitor: compare
+	// against the known op count (25 ops issued, all must complete in 2000
+	// cycles).
+	if len(txs) != 25 {
+		t.Errorf("extracted %d transactions, want 25", len(txs))
+	}
+	if _, err := ExtractTransactions(f, "nosuch", cfg.Port.Type); err == nil {
+		t.Error("unknown port should fail")
+	}
+}
+
+func TestPortAlignmentRateEdges(t *testing.T) {
+	if (PortAlignment{}).Rate() != 100 {
+		t.Error("empty alignment should rate 100")
+	}
+	pa := PortAlignment{Cycles: 100, Aligned: 99}
+	if !pa.Pass() {
+		t.Error("99% should pass the sign-off")
+	}
+	pa.Aligned = 98
+	if pa.Pass() {
+		t.Error("98% should fail the sign-off")
+	}
+}
+
+func TestSignalRatesDrillDown(t *testing.T) {
+	cfg := nodeCfg()
+	fr := runView(t, cfg, nil, 5, 1200)
+	fb := runView(t, cfg, &bca.Bugs{LRUInit: true}, 5, 1200)
+	rates, err := SignalRates(fr, fb, "node.init0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 18 {
+		t.Fatalf("%d signal rates, want 18", len(rates))
+	}
+	// Sorted worst-first, and at least one signal must diverge.
+	if rates[0].Rate() > rates[len(rates)-1].Rate() {
+		t.Error("rates not sorted ascending")
+	}
+	if rates[0].Rate() == 100 {
+		t.Error("drill-down on a diverging port should show sub-100% signals")
+	}
+	if _, err := SignalRates(fr, fb, "nosuch"); err == nil {
+		t.Error("unknown port should fail")
+	}
+	if _, err := SignalRates(fr, &vcd.File{}, "node.init0"); err == nil {
+		t.Error("missing signals should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package stbus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region maps a contiguous address range onto a target port of a node.
+type Region struct {
+	Base   uint64
+	Size   uint64
+	Target int
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool { return addr >= r.Base && addr < r.End() }
+
+// AddrMap is the routing table of a node: the decoder that picks the target
+// port of every request by address.
+type AddrMap []Region
+
+// Route returns the target port for addr, or -1 when the address is
+// unmapped (the node answers such requests with an error response).
+func (m AddrMap) Route(addr uint64) int {
+	for _, r := range m {
+		if r.Contains(addr) {
+			return r.Target
+		}
+	}
+	return -1
+}
+
+// Validate checks the map for zero-sized, overflowing or overlapping regions
+// and for target indices outside [0, nTargets).
+func (m AddrMap) Validate(nTargets int) error {
+	sorted := append(AddrMap(nil), m...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	for i, r := range sorted {
+		if r.Size == 0 {
+			return fmt.Errorf("stbus: region %d at %#x has zero size", i, r.Base)
+		}
+		if r.End() < r.Base {
+			return fmt.Errorf("stbus: region %d at %#x overflows", i, r.Base)
+		}
+		if r.Target < 0 || r.Target >= nTargets {
+			return fmt.Errorf("stbus: region %d routes to target %d of %d", i, r.Target, nTargets)
+		}
+		if i > 0 && sorted[i-1].End() > r.Base {
+			return fmt.Errorf("stbus: regions at %#x and %#x overlap", sorted[i-1].Base, r.Base)
+		}
+	}
+	return nil
+}
+
+// UniformMap builds a map with one sizePer-byte region per target starting
+// at base, the layout the regression tool uses by default.
+func UniformMap(nTargets int, base, sizePer uint64) AddrMap {
+	m := make(AddrMap, nTargets)
+	for i := range m {
+		m[i] = Region{Base: base + uint64(i)*sizePer, Size: sizePer, Target: i}
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package stbus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrMapRoute(t *testing.T) {
+	m := AddrMap{
+		{Base: 0x1000, Size: 0x1000, Target: 0},
+		{Base: 0x2000, Size: 0x1000, Target: 1},
+	}
+	cases := []struct {
+		addr uint64
+		want int
+	}{
+		{0x1000, 0}, {0x1fff, 0}, {0x2000, 1}, {0x2fff, 1},
+		{0x0, -1}, {0x3000, -1}, {0xffffffff, -1},
+	}
+	for _, c := range cases {
+		if got := m.Route(c.addr); got != c.want {
+			t.Errorf("Route(%#x) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestAddrMapValidate(t *testing.T) {
+	good := AddrMap{{Base: 0, Size: 0x100, Target: 0}, {Base: 0x100, Size: 0x100, Target: 1}}
+	if err := good.Validate(2); err != nil {
+		t.Errorf("good map rejected: %v", err)
+	}
+	bad := []AddrMap{
+		{{Base: 0, Size: 0, Target: 0}},
+		{{Base: 0, Size: 0x200, Target: 0}, {Base: 0x100, Size: 0x100, Target: 1}},
+		{{Base: 0, Size: 0x100, Target: 5}},
+		{{Base: ^uint64(0) - 1, Size: 0x100, Target: 0}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(2); err == nil {
+			t.Errorf("bad map %d accepted", i)
+		}
+	}
+}
+
+func TestUniformMap(t *testing.T) {
+	m := UniformMap(4, 0x8000_0000, 0x1000)
+	if err := m.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a := 0x8000_0000 + uint64(i)*0x1000
+		if got := m.Route(a); got != i {
+			t.Errorf("Route(%#x) = %d, want %d", a, got, i)
+		}
+		if got := m.Route(a + 0xfff); got != i {
+			t.Errorf("Route(%#x) = %d, want %d", a+0xfff, got, i)
+		}
+	}
+}
+
+// Property: every address inside a uniform map routes to the region that
+// contains it, and addresses outside route to -1.
+func TestUniformMapRouteProperty(t *testing.T) {
+	m := UniformMap(8, 0x1000, 0x400)
+	f := func(a uint32) bool {
+		addr := uint64(a) % 0x5000
+		got := m.Route(addr)
+		if addr < 0x1000 || addr >= 0x1000+8*0x400 {
+			return got == -1
+		}
+		return got == int(addr-0x1000)/0x400
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionHelpers(t *testing.T) {
+	tr := Transaction{Src: 3, TID: 7, StartCycle: 10, EndCycle: 25}
+	if tr.Key() != (Key{Src: 3, TID: 7}) {
+		t.Error("key mismatch")
+	}
+	if tr.Latency() != 15 {
+		t.Errorf("latency %d", tr.Latency())
+	}
+	broken := Transaction{StartCycle: 10, EndCycle: 5}
+	if broken.Latency() != 0 {
+		t.Error("negative latency should clamp to 0")
+	}
+	if tr.String() == "" {
+		t.Error("String should render")
+	}
+}

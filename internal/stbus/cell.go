@@ -1,0 +1,56 @@
+package stbus
+
+import (
+	"fmt"
+
+	"crve/internal/sim"
+)
+
+// Cell is one beat of an STBus request packet: the unit transferred on a
+// request channel in a single granted cycle.
+type Cell struct {
+	Opc  Opcode
+	Addr uint64
+	// Data carries up to one bus width of write data (stores, RMW, swap).
+	Data sim.Bits
+	// BE holds one byte-enable bit per byte lane of the bus.
+	BE uint64
+	// EOP marks the last cell of the packet.
+	EOP bool
+	// Lck, while set, chains this packet to the next one into a chunk that
+	// keeps the slave allocated (Type II).
+	Lck bool
+	// TID tags the transaction for out-of-order matching (Type III).
+	TID uint8
+	// Src identifies the issuing initiator port; the interconnect uses it to
+	// route the response back.
+	Src uint8
+	// Pri is the request priority used by priority-based arbiters.
+	Pri uint8
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s @%#x be=%#x eop=%v lck=%v tid=%d src=%d pri=%d",
+		c.Opc, c.Addr, c.BE, c.EOP, c.Lck, c.TID, c.Src, c.Pri)
+}
+
+// RespCell is one beat of an STBus response packet.
+type RespCell struct {
+	// ROpc is the response opcode (RespOK/RespData, possibly with RespError).
+	ROpc uint8
+	// Data carries up to one bus width of read data.
+	Data sim.Bits
+	// EOP marks the last cell of the response packet.
+	EOP bool
+	// TID echoes the request transaction tag.
+	TID uint8
+	// Src echoes the request source, routing the response to its initiator.
+	Src uint8
+}
+
+// Err reports whether the cell carries an error response.
+func (r RespCell) Err() bool { return IsErrorResp(r.ROpc) }
+
+func (r RespCell) String() string {
+	return fmt.Sprintf("ropc=%#x eop=%v tid=%d src=%d err=%v", r.ROpc, r.EOP, r.TID, r.Src, r.Err())
+}

@@ -1,0 +1,46 @@
+package stbus_test
+
+import (
+	"fmt"
+
+	"crve/internal/stbus"
+)
+
+// ExampleBuildRequest packetises a 16-byte store for a Type 3 port with a
+// 32-bit data bus: four data cells, EOP on the last.
+func ExampleBuildRequest() {
+	payload := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	cells, err := stbus.BuildRequest(stbus.Type3, stbus.LittleEndian,
+		stbus.ST16, 0x1000, payload, 4, 7, 0, 0, false)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range cells {
+		fmt.Printf("%v @%#x eop=%v\n", c.Opc, c.Addr, c.EOP)
+	}
+	// Output:
+	// ST16 @0x1000 eop=false
+	// ST16 @0x1004 eop=false
+	// ST16 @0x1008 eop=false
+	// ST16 @0x100c eop=true
+}
+
+// ExampleReqLen shows the Type 2 / Type 3 packetisation asymmetry for a
+// 32-byte read on a 32-bit bus.
+func ExampleReqLen() {
+	fmt.Println("T2 request cells:", stbus.ReqLen(stbus.Type2, stbus.LD32, 4))
+	fmt.Println("T3 request cells:", stbus.ReqLen(stbus.Type3, stbus.LD32, 4))
+	fmt.Println("T3 response cells:", stbus.RespLen(stbus.Type3, stbus.LD32, 4))
+	// Output:
+	// T2 request cells: 8
+	// T3 request cells: 1
+	// T3 response cells: 8
+}
+
+// ExampleAddrMap_Route decodes addresses against a two-target map.
+func ExampleAddrMap_Route() {
+	m := stbus.UniformMap(2, 0x1000, 0x1000)
+	fmt.Println(m.Route(0x1004), m.Route(0x2ffc), m.Route(0x9000))
+	// Output: 0 1 -1
+}

@@ -1,0 +1,58 @@
+package stbus
+
+import "fmt"
+
+// Transaction is the monitor-level view of one complete STBus operation:
+// request packet plus response packet, with reassembled payloads. The
+// scoreboard, the functional-coverage model and the STBus Analyzer all work
+// in terms of transactions.
+type Transaction struct {
+	// Initiator is the index of the issuing initiator port (-1 if unknown,
+	// e.g. when extracted from a single-port trace).
+	Initiator int
+	// Target is the routed target port (-1 for unmapped/error).
+	Target int
+
+	Opc  Opcode
+	Addr uint64
+	TID  uint8
+	Src  uint8
+	Pri  uint8
+	Lck  bool
+
+	// WriteData is the reassembled request payload (store-type kinds).
+	WriteData []byte
+	// ReadData is the reassembled response payload (load-type kinds).
+	ReadData []byte
+	// Err reports an error response.
+	Err bool
+
+	// StartCycle is the cycle of the first granted request cell, ReqEndCycle
+	// of the last, EndCycle of the last granted response cell.
+	StartCycle  uint64
+	ReqEndCycle uint64
+	EndCycle    uint64
+}
+
+// Latency returns the total transaction latency in cycles.
+func (t *Transaction) Latency() uint64 {
+	if t.EndCycle < t.StartCycle {
+		return 0
+	}
+	return t.EndCycle - t.StartCycle
+}
+
+func (t *Transaction) String() string {
+	return fmt.Sprintf("init%d->tgt%d %v @%#x tid=%d src=%d err=%v cycles=[%d..%d]",
+		t.Initiator, t.Target, t.Opc, t.Addr, t.TID, t.Src, t.Err, t.StartCycle, t.EndCycle)
+}
+
+// Key identifies a transaction for out-of-order matching: the (src, tid)
+// pair Type III uses to pair responses with requests.
+type Key struct {
+	Src uint8
+	TID uint8
+}
+
+// Key returns the transaction's matching key.
+func (t *Transaction) Key() Key { return Key{Src: t.Src, TID: t.TID} }

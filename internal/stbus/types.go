@@ -1,0 +1,202 @@
+// Package stbus defines the STBus protocol vocabulary shared by every other
+// subsystem: protocol types I/II/III, opcodes, cells, packets, transactions,
+// the signal-level port bundle, and the address map used for routing.
+//
+// The definitions follow the public description of the STBus interconnect
+// (STMicroelectronics "STBus Functional Specs", and the summary in Section 3
+// of the paper):
+//
+//   - Type I — simple synchronous handshake, limited command set, no split
+//     transactions: at most one outstanding operation per initiator.
+//   - Type II — split transactions and pipelining; symmetric packets (the
+//     response packet has as many cells as the request packet); traffic must
+//     stay ordered; chunks (lck) group transactions to hold slave allocation.
+//   - Type III — adds out-of-order completion (matched by src/tid) and
+//     asymmetric packets (single-cell read requests, single-cell write
+//     responses).
+//
+// This package is deliberately the ONLY code shared between the RTL view
+// (internal/rtl) and the BCA view (internal/bca), so that the alignment
+// comparison between the two models checks genuinely independent
+// implementations, as in the paper where the models came from different
+// teams.
+package stbus
+
+import "fmt"
+
+// Type selects one of the three STBus protocol variants.
+type Type int
+
+const (
+	// Type1 is the register-access protocol (peripheral interface).
+	Type1 Type = 1
+	// Type2 is the basic split-transaction protocol (memory controllers).
+	Type2 Type = 2
+	// Type3 is the advanced protocol with out-of-order support (CPUs, DMAs).
+	Type3 Type = 3
+)
+
+// Valid reports whether t is one of the three defined protocol types.
+func (t Type) Valid() bool { return t >= Type1 && t <= Type3 }
+
+func (t Type) String() string {
+	switch t {
+	case Type1:
+		return "T1"
+	case Type2:
+		return "T2"
+	case Type3:
+		return "T3"
+	default:
+		return fmt.Sprintf("T?%d", int(t))
+	}
+}
+
+// OpKind is the operation class encoded in the high nibble of an Opcode.
+type OpKind uint8
+
+const (
+	// KindLoad is a read of 2^n bytes.
+	KindLoad OpKind = iota
+	// KindStore is a write of 2^n bytes.
+	KindStore
+	// KindRMW is an atomic read-modify-write (Type II+).
+	KindRMW
+	// KindSwap atomically exchanges memory and data (Type II+).
+	KindSwap
+	// KindFlush forces write-back of a posted buffer (Type II+).
+	KindFlush
+	// KindPurge invalidates a buffered region (Type II+).
+	KindPurge
+	numKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KindLoad:
+		return "LD"
+	case KindStore:
+		return "ST"
+	case KindRMW:
+		return "RMW"
+	case KindSwap:
+		return "SWAP"
+	case KindFlush:
+		return "FLUSH"
+	case KindPurge:
+		return "PURGE"
+	default:
+		return fmt.Sprintf("K?%d", uint8(k))
+	}
+}
+
+// Opcode encodes an STBus request operation: the high nibble is the OpKind
+// and the low nibble is log2 of the operand size in bytes (0..6, i.e. 1 to
+// 64 bytes, the maximum STBus operation size).
+type Opcode uint8
+
+// Op assembles an opcode from a kind and a size in bytes (a power of two,
+// 1..64).
+func Op(k OpKind, sizeBytes int) Opcode {
+	l := sizeLog2(sizeBytes)
+	if l < 0 {
+		panic(fmt.Sprintf("stbus: invalid operation size %d", sizeBytes))
+	}
+	return Opcode(uint8(k)<<4 | uint8(l))
+}
+
+// Convenience opcode constants for the common load/store sizes.
+var (
+	LD1   = Op(KindLoad, 1)
+	LD2   = Op(KindLoad, 2)
+	LD4   = Op(KindLoad, 4)
+	LD8   = Op(KindLoad, 8)
+	LD16  = Op(KindLoad, 16)
+	LD32  = Op(KindLoad, 32)
+	LD64  = Op(KindLoad, 64)
+	ST1   = Op(KindStore, 1)
+	ST2   = Op(KindStore, 2)
+	ST4   = Op(KindStore, 4)
+	ST8   = Op(KindStore, 8)
+	ST16  = Op(KindStore, 16)
+	ST32  = Op(KindStore, 32)
+	ST64  = Op(KindStore, 64)
+	RMW4  = Op(KindRMW, 4)
+	SWAP4 = Op(KindSwap, 4)
+)
+
+func sizeLog2(n int) int {
+	for l := 0; l <= 6; l++ {
+		if 1<<l == n {
+			return l
+		}
+	}
+	return -1
+}
+
+// Kind returns the operation class.
+func (o Opcode) Kind() OpKind { return OpKind(o >> 4) }
+
+// SizeBytes returns the operand size in bytes.
+func (o Opcode) SizeBytes() int { return 1 << (o & 0xf) }
+
+// Valid reports whether o is a well-formed opcode.
+func (o Opcode) Valid() bool {
+	return o.Kind() < numKinds && (o&0xf) <= 6
+}
+
+// IsLoad reports whether the opcode returns read data (loads, RMW and swap
+// all return prior memory contents).
+func (o Opcode) IsLoad() bool {
+	k := o.Kind()
+	return k == KindLoad || k == KindRMW || k == KindSwap
+}
+
+// HasWriteData reports whether request cells carry data.
+func (o Opcode) HasWriteData() bool {
+	k := o.Kind()
+	return k == KindStore || k == KindRMW || k == KindSwap
+}
+
+// ValidFor reports whether the opcode may be issued on a port of protocol
+// type t with the given data-bus width. Type I carries only simple loads
+// and stores of at most 8 bytes that fit in a single bus cell.
+func (o Opcode) ValidFor(t Type, busBytes int) bool {
+	if !o.Valid() {
+		return false
+	}
+	switch t {
+	case Type1:
+		k := o.Kind()
+		if k != KindLoad && k != KindStore {
+			return false
+		}
+		return o.SizeBytes() <= 8 && o.SizeBytes() <= busBytes
+	case Type2, Type3:
+		return true
+	default:
+		return false
+	}
+}
+
+func (o Opcode) String() string {
+	if !o.Valid() {
+		return fmt.Sprintf("OPC?%02x", uint8(o))
+	}
+	return fmt.Sprintf("%s%d", o.Kind(), o.SizeBytes())
+}
+
+// Response opcode bits: bit 0 distinguishes load-type responses carrying
+// data; bit 7 flags an error response.
+const (
+	// RespOK acknowledges a write-type request.
+	RespOK uint8 = 0x00
+	// RespData marks a response cell carrying read data.
+	RespData uint8 = 0x01
+	// RespError flags an error (unmapped address, protocol violation at a
+	// converter, etc.). It may be combined with RespData.
+	RespError uint8 = 0x80
+)
+
+// IsErrorResp reports whether a response opcode carries the error flag.
+func IsErrorResp(ropc uint8) bool { return ropc&RespError != 0 }

@@ -1,0 +1,133 @@
+package stbus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeEncoding(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		kind OpKind
+		size int
+		str  string
+	}{
+		{LD1, KindLoad, 1, "LD1"},
+		{LD64, KindLoad, 64, "LD64"},
+		{ST4, KindStore, 4, "ST4"},
+		{ST32, KindStore, 32, "ST32"},
+		{RMW4, KindRMW, 4, "RMW4"},
+		{SWAP4, KindSwap, 4, "SWAP4"},
+		{Op(KindFlush, 1), KindFlush, 1, "FLUSH1"},
+		{Op(KindPurge, 16), KindPurge, 16, "PURGE16"},
+	}
+	for _, c := range cases {
+		if c.op.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.op, c.op.Kind(), c.kind)
+		}
+		if c.op.SizeBytes() != c.size {
+			t.Errorf("%v size = %d, want %d", c.op, c.op.SizeBytes(), c.size)
+		}
+		if c.op.String() != c.str {
+			t.Errorf("%v String = %q, want %q", c.op, c.op.String(), c.str)
+		}
+		if !c.op.Valid() {
+			t.Errorf("%v should be valid", c.op)
+		}
+	}
+}
+
+func TestOpcodeInvalid(t *testing.T) {
+	if Opcode(0x6f).Valid() {
+		t.Error("kind 6 should be invalid")
+	}
+	if Opcode(0x07).Valid() {
+		t.Error("size log2 7 should be invalid")
+	}
+}
+
+func TestOpPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Op with size 3 should panic")
+		}
+	}()
+	Op(KindLoad, 3)
+}
+
+func TestOpcodeClassPredicates(t *testing.T) {
+	if !LD4.IsLoad() || LD4.HasWriteData() {
+		t.Error("LD4 misclassified")
+	}
+	if ST4.IsLoad() || !ST4.HasWriteData() {
+		t.Error("ST4 misclassified")
+	}
+	if !RMW4.IsLoad() || !RMW4.HasWriteData() {
+		t.Error("RMW4 should both read and write")
+	}
+	if !SWAP4.IsLoad() || !SWAP4.HasWriteData() {
+		t.Error("SWAP4 should both read and write")
+	}
+	fl := Op(KindFlush, 4)
+	if fl.IsLoad() || fl.HasWriteData() {
+		t.Error("FLUSH carries no data")
+	}
+}
+
+func TestValidForType1(t *testing.T) {
+	if !LD4.ValidFor(Type1, 4) {
+		t.Error("LD4 on 32-bit T1 should be valid")
+	}
+	if LD16.ValidFor(Type1, 4) {
+		t.Error("LD16 exceeds T1 limit")
+	}
+	if LD8.ValidFor(Type1, 4) {
+		t.Error("LD8 wider than 32-bit T1 bus should be invalid")
+	}
+	if RMW4.ValidFor(Type1, 4) {
+		t.Error("RMW not in T1 command set")
+	}
+	if !LD8.ValidFor(Type1, 8) {
+		t.Error("LD8 on 64-bit T1 should be valid")
+	}
+}
+
+func TestValidForType23(t *testing.T) {
+	for _, ty := range []Type{Type2, Type3} {
+		for _, op := range []Opcode{LD1, LD64, ST64, RMW4, SWAP4, Op(KindFlush, 1)} {
+			if !op.ValidFor(ty, 4) {
+				t.Errorf("%v should be valid for %v", op, ty)
+			}
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Type1.String() != "T1" || Type2.String() != "T2" || Type3.String() != "T3" {
+		t.Error("type strings wrong")
+	}
+	if Type(9).Valid() {
+		t.Error("type 9 should be invalid")
+	}
+}
+
+func TestRespErrorFlag(t *testing.T) {
+	if !IsErrorResp(RespError) || !IsErrorResp(RespError|RespData) {
+		t.Error("error flag not detected")
+	}
+	if IsErrorResp(RespData) || IsErrorResp(RespOK) {
+		t.Error("false error detection")
+	}
+}
+
+func TestOpcodeRoundTripProperty(t *testing.T) {
+	f := func(kindRaw, logRaw uint8) bool {
+		k := OpKind(kindRaw % uint8(numKinds))
+		size := 1 << (logRaw % 7)
+		op := Op(k, size)
+		return op.Kind() == k && op.SizeBytes() == size && op.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

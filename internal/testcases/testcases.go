@@ -1,0 +1,246 @@
+// Package testcases defines the twelve generic test cases of the paper's
+// Section 5: "Twelve test cases have been developed to cover the tests of
+// all main features of the node such as out of order traffic or latency
+// based arbitration." The tests are generic — they "depend on some HDL
+// parameters" and "can be reused for all configurations of the Node" — so
+// each is expressed as traffic/target constraints resolved against the node
+// configuration at run time. Running the same test file with different seeds
+// is how the flow approaches full functional coverage.
+package testcases
+
+import (
+	"fmt"
+
+	"crve/internal/catg"
+	"crve/internal/core"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// All returns the twelve-test suite in a stable order.
+func All() []core.Test {
+	return []core.Test{
+		BasicWriteRead(),
+		RandomMixed(),
+		OutOfOrder(),
+		LongBursts(),
+		BackToBack(),
+		Chunked(),
+		ErrorPaths(),
+		Programming(),
+		HotTarget(),
+		SlowTargets(),
+		IdleJitter(),
+		PriorityPressure(),
+	}
+}
+
+// ByName returns the named test.
+func ByName(name string) (core.Test, error) {
+	for _, t := range All() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return core.Test{}, fmt.Errorf("testcases: unknown test %q", name)
+}
+
+// Names lists the suite's test names in order.
+func Names() []string {
+	var out []string
+	for _, t := range All() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// BasicWriteRead is the bring-up test: word-sized writes and reads, gentle
+// timing — the modern descendant of the past flow's write-then-read bench.
+func BasicWriteRead() core.Test {
+	return core.Test{
+		Name: "basic_write_read",
+		Traffic: catg.TrafficConfig{
+			Ops:   30,
+			Kinds: []stbus.OpKind{stbus.KindStore, stbus.KindLoad},
+			Sizes: []int{4},
+		},
+		Target: catg.TargetConfig{MinLatency: 1, MaxLatency: 2},
+	}
+}
+
+// RandomMixed drives the full legal operation mix with random sizes.
+func RandomMixed() core.Test {
+	return core.Test{
+		Name: "random_mixed",
+		Traffic: catg.TrafficConfig{
+			Ops:    50,
+			Kinds:  []stbus.OpKind{stbus.KindLoad, stbus.KindStore, stbus.KindRMW, stbus.KindSwap},
+			Sizes:  []int{1, 2, 4, 8, 16, 32},
+			PriMax: 7,
+		},
+		Target: catg.TargetConfig{MinLatency: 0, MaxLatency: 6, GntGapPct: 15},
+	}
+}
+
+// OutOfOrder reproduces the paper's out-of-order forcing recipe: "short
+// transactions are sent by one initiator to different targets, having
+// different speed".
+func OutOfOrder() core.Test {
+	return core.Test{
+		Name: "out_of_order",
+		Traffic: catg.TrafficConfig{
+			Ops:   60,
+			Kinds: []stbus.OpKind{stbus.KindLoad},
+			Sizes: []int{4},
+		},
+		TargetFor: func(cfg nodespec.Config, tgtIdx int) catg.TargetConfig {
+			// Alternate fast and very slow targets.
+			if tgtIdx%2 == 0 {
+				return catg.TargetConfig{MinLatency: 20, MaxLatency: 25}
+			}
+			return catg.TargetConfig{MinLatency: 0, MaxLatency: 1}
+		},
+	}
+}
+
+// LongBursts exercises multi-cell packets (up to the 64-byte operation
+// limit) and size/packetisation corner cases.
+func LongBursts() core.Test {
+	return core.Test{
+		Name: "long_bursts",
+		Traffic: catg.TrafficConfig{
+			Ops:   35,
+			Kinds: []stbus.OpKind{stbus.KindStore, stbus.KindLoad},
+			Sizes: []int{16, 32, 64},
+		},
+		Target: catg.TargetConfig{MinLatency: 1, MaxLatency: 4},
+	}
+}
+
+// BackToBack saturates the pipe: zero idle, fast targets, word traffic.
+func BackToBack() core.Test {
+	return core.Test{
+		Name: "back_to_back",
+		Traffic: catg.TrafficConfig{
+			Ops:   80,
+			Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore},
+			Sizes: []int{4, 8},
+		},
+		Target: catg.TargetConfig{MinLatency: 0, MaxLatency: 0, QueueDepth: 8},
+	}
+}
+
+// Chunked exercises lck chunk allocation and its atomicity.
+func Chunked() core.Test {
+	return core.Test{
+		Name: "chunked",
+		Traffic: catg.TrafficConfig{
+			Ops:      50,
+			Kinds:    []stbus.OpKind{stbus.KindStore, stbus.KindLoad},
+			Sizes:    []int{4, 8},
+			ChunkPct: 45,
+		},
+		Target: catg.TargetConfig{MinLatency: 0, MaxLatency: 3, GntGapPct: 10},
+	}
+}
+
+// ErrorPaths drives unmapped addresses to cover the error responder.
+func ErrorPaths() core.Test {
+	return core.Test{
+		Name: "error_paths",
+		Traffic: catg.TrafficConfig{
+			Ops:         50,
+			Kinds:       []stbus.OpKind{stbus.KindLoad, stbus.KindStore},
+			Sizes:       []int{4},
+			UnmappedPct: 35,
+		},
+		Target: catg.TargetConfig{MinLatency: 0, MaxLatency: 4},
+	}
+}
+
+// Programming mixes register-decoder accesses (priority reprogramming mid
+// traffic) with normal traffic — the paper's Figure 6 "Programming
+// Initiator" scenario folded into a generic test.
+func Programming() core.Test {
+	return core.Test{
+		Name: "programming",
+		TrafficFor: func(cfg nodespec.Config, initIdx int) catg.TrafficConfig {
+			tc := catg.TrafficConfig{
+				Ops:   45,
+				Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore},
+				Sizes: []int{4, 8},
+			}
+			if cfg.ProgPort {
+				tc.ProgPct = 20
+			}
+			return tc
+		},
+		Traffic: catg.TrafficConfig{Ops: 45},
+		Target:  catg.TargetConfig{MinLatency: 1, MaxLatency: 3},
+	}
+}
+
+// HotTarget aims every initiator at target 0 to stress arbitration.
+func HotTarget() core.Test {
+	return core.Test{
+		Name: "hot_target",
+		TrafficFor: func(cfg nodespec.Config, initIdx int) catg.TrafficConfig {
+			targets := []int{0}
+			if !cfg.Connected(initIdx, 0) {
+				targets = nil // partial crossbar: fall back to reachable set
+			}
+			return catg.TrafficConfig{
+				Ops:     60,
+				Kinds:   []stbus.OpKind{stbus.KindLoad, stbus.KindStore},
+				Sizes:   []int{4},
+				Targets: targets,
+				PriMax:  15,
+			}
+		},
+		Traffic: catg.TrafficConfig{Ops: 60},
+		Target:  catg.TargetConfig{MinLatency: 2, MaxLatency: 5},
+	}
+}
+
+// SlowTargets drives high-latency, grant-gapped targets (occupancy and
+// back-pressure paths).
+func SlowTargets() core.Test {
+	return core.Test{
+		Name: "slow_targets",
+		Traffic: catg.TrafficConfig{
+			Ops:   40,
+			Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore},
+			Sizes: []int{4, 16},
+		},
+		Target: catg.TargetConfig{MinLatency: 10, MaxLatency: 20, GntGapPct: 40, QueueDepth: 2},
+	}
+}
+
+// IdleJitter inserts idle gaps between packets to cover restart paths.
+func IdleJitter() core.Test {
+	return core.Test{
+		Name: "idle_jitter",
+		Traffic: catg.TrafficConfig{
+			Ops:     45,
+			Kinds:   []stbus.OpKind{stbus.KindLoad, stbus.KindStore},
+			Sizes:   []int{1, 2, 4},
+			IdlePct: 60,
+		},
+		Target: catg.TargetConfig{MinLatency: 0, MaxLatency: 5, GntGapPct: 25},
+	}
+}
+
+// PriorityPressure exercises the arbitration policies under permanent
+// contention with the full priority-field range.
+func PriorityPressure() core.Test {
+	return core.Test{
+		Name: "priority_pressure",
+		Traffic: catg.TrafficConfig{
+			Ops:    70,
+			Kinds:  []stbus.OpKind{stbus.KindLoad, stbus.KindStore},
+			Sizes:  []int{4},
+			PriMax: 15,
+		},
+		Target: catg.TargetConfig{MinLatency: 3, MaxLatency: 6},
+	}
+}

@@ -1,0 +1,170 @@
+package testcases
+
+import (
+	"testing"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/core"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+func refCfg() nodespec.Config {
+	return nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 3, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.Programmable, RespArb: arb.Priority,
+		Map:      stbus.UniformMap(2, 0x1000, 0x1000),
+		ProgPort: true,
+		ProgBase: 0x8000,
+	}.WithDefaults()
+}
+
+func TestSuiteHasTwelveTests(t *testing.T) {
+	suite := All()
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d tests, the paper's has 12", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, tc := range suite {
+		if tc.Name == "" {
+			t.Error("unnamed test")
+		}
+		if seen[tc.Name] {
+			t.Errorf("duplicate test %q", tc.Name)
+		}
+		seen[tc.Name] = true
+	}
+}
+
+func TestByNameLookup(t *testing.T) {
+	for _, name := range Names() {
+		tc, err := ByName(name)
+		if err != nil || tc.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, tc.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+// TestEveryTestPassesOnBothViews runs the entire suite once per view on the
+// reference configuration: every test must drain with clean checkers and
+// scoreboard on both the RTL and the bug-free BCA model.
+func TestEveryTestPassesOnBothViews(t *testing.T) {
+	cfg := refCfg()
+	for _, tc := range All() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for _, view := range []core.View{core.RTLView, core.BCAView} {
+				res, err := core.RunTest(cfg, view, tc, 1001, core.RunOptions{})
+				if err != nil {
+					t.Fatalf("%v: %v", view, err)
+				}
+				if !res.Passed() {
+					detail := ""
+					if len(res.Violations) > 0 {
+						detail = res.Violations[0].String()
+					} else if len(res.ScoreErrors) > 0 {
+						detail = res.ScoreErrors[0]
+					}
+					t.Fatalf("%v failed: %s\n%s", view, res.Summary(), detail)
+				}
+			}
+		})
+	}
+}
+
+// TestOutOfOrderTestForcesReordering checks the paper's §5 recipe works: the
+// out_of_order test must hit the reordered completion bin.
+func TestOutOfOrderTestForcesReordering(t *testing.T) {
+	cfg := refCfg()
+	res, err := core.RunTest(cfg, core.RTLView, OutOfOrder(), 5, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("out_of_order failed: %s", res.Summary())
+	}
+	if res.Coverage.MustItem("completion_order").Hits("reordered") == 0 {
+		t.Error("out_of_order test did not force reordered completion")
+	}
+}
+
+// TestProgrammingTestTouchesRegisters checks the programming test reaches
+// the register decoder on a prog-port configuration.
+func TestProgrammingTestTouchesRegisters(t *testing.T) {
+	cfg := refCfg()
+	res, err := core.RunTest(cfg, core.RTLView, Programming(), 9, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("programming failed: %s", res.Summary())
+	}
+	if res.Coverage.MustItem("route").Hits("prog") == 0 {
+		t.Error("programming test never reached the programming region")
+	}
+}
+
+// TestErrorPathsCoverErrBin checks the error_paths test hits the error
+// response bin.
+func TestErrorPathsCoverErrBin(t *testing.T) {
+	cfg := refCfg()
+	res, err := core.RunTest(cfg, core.RTLView, ErrorPaths(), 3, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("error_paths failed: %s", res.Summary())
+	}
+	if res.Coverage.MustItem("response").Hits("err") == 0 {
+		t.Error("error_paths test produced no error response")
+	}
+}
+
+// TestSuiteCatchesEveryBCABug is the in-package version of experiment E2:
+// for each seeded bug there is at least one (test, seed) in the suite whose
+// port-level checks or scoreboard fail on the bugged BCA model.
+func TestSuiteCatchesEveryBCABug(t *testing.T) {
+	cfg := refCfg()
+	cfg.ReqArb = arb.LRU // exercise the LRU policy (bug 1)
+	cfg.ProgPort = false
+	t2cfg := cfg
+	t2cfg.Port.Type = stbus.Type2
+	cfgFor := func(b bca.Bugs) nodespec.Config {
+		if b.T2OrderIgnored {
+			return t2cfg
+		}
+		return cfg
+	}
+	for bi, bug := range bca.AllBugs() {
+		bug := bug
+		t.Run(bca.BugNames()[bi], func(t *testing.T) {
+			c := cfgFor(bug)
+			caught := false
+			for _, tc := range All() {
+				for seed := int64(1); seed <= 2 && !caught; seed++ {
+					pr, err := core.RunPair(c, tc, seed, bug)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Detection = any checker/scoreboard failure on the BCA
+					// run, or an alignment drop below sign-off.
+					if !pr.BCA.Passed() || !pr.Alignment.AllPass() {
+						caught = true
+					}
+				}
+				if caught {
+					break
+				}
+			}
+			if !caught {
+				t.Errorf("bug %v escaped the whole suite", bug.List())
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+// Package vcd implements reading and writing of Value Change Dump files,
+// the standard waveform interchange format (IEEE 1364 §18). The paper's flow
+// dumps a VCD file for every regression run of both the RTL and the BCA
+// model; the STBus Analyzer then compares the two dumps port by port.
+//
+// Writer integrates with the sim kernel: Attach registers an end-of-cycle
+// hook that samples traced signals and emits value changes, with one clock
+// cycle equal to TimePerCycle time units.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"crve/internal/sim"
+)
+
+// TimePerCycle is the number of VCD time units per simulated clock cycle.
+const TimePerCycle = 10
+
+// Writer emits a VCD file for a chosen set of signals. Declare every signal
+// before the first sample; the header is written lazily on the first Sample
+// (or by Flush if no samples were taken).
+type Writer struct {
+	w      *bufio.Writer
+	module string
+
+	sigs        []*sim.Signal
+	codes       []string
+	last        []sim.Bits
+	headerDone  bool
+	firstSample bool
+	err         error
+}
+
+// NewWriter returns a Writer emitting to w. module names the top VCD scope.
+func NewWriter(w io.Writer, module string) *Writer {
+	return &Writer{w: bufio.NewWriter(w), module: module, firstSample: true}
+}
+
+// Declare adds a signal to the trace set. All declarations must happen
+// before the first sample.
+func (wr *Writer) Declare(sig *sim.Signal) {
+	if wr.headerDone {
+		panic("vcd: Declare after first sample")
+	}
+	wr.sigs = append(wr.sigs, sig)
+}
+
+// DeclareAll adds every signal of a simulator to the trace set.
+func (wr *Writer) DeclareAll(sm *sim.Simulator) {
+	for _, s := range sm.Signals() {
+		wr.Declare(s)
+	}
+}
+
+// Attach registers an end-of-cycle hook on sm that samples all declared
+// signals each cycle. Call after declaring signals.
+func (wr *Writer) Attach(sm *sim.Simulator) {
+	sm.AtCycleEnd(func() {
+		wr.Sample((sm.Cycle() - 1) * TimePerCycle)
+	})
+}
+
+// idCode converts a dense index into a VCD identifier code (printable ASCII
+// 33..126, little-endian base 94).
+func idCode(i int) string {
+	var b []byte
+	for {
+		b = append(b, byte('!'+i%94))
+		i /= 94
+		if i == 0 {
+			return string(b)
+		}
+		i--
+	}
+}
+
+func (wr *Writer) writeHeader() {
+	wr.headerDone = true
+	fmt.Fprintf(wr.w, "$date\n\treproduction run\n$end\n")
+	fmt.Fprintf(wr.w, "$version\n\tcrve vcd writer\n$end\n")
+	fmt.Fprintf(wr.w, "$timescale\n\t1ns\n$end\n")
+
+	// Build a scope tree from dotted names so hierarchy survives round-trips.
+	wr.codes = make([]string, len(wr.sigs))
+	wr.last = make([]sim.Bits, len(wr.sigs))
+	for i := range wr.sigs {
+		wr.codes[i] = idCode(i)
+	}
+	fmt.Fprintf(wr.w, "$scope module %s $end\n", wr.module)
+	wr.writeScope("", wr.sortedIndices())
+	fmt.Fprintf(wr.w, "$upscope $end\n")
+	fmt.Fprintf(wr.w, "$enddefinitions $end\n")
+}
+
+// sortedIndices returns signal indices ordered by hierarchical name so that
+// signals of a scope group together.
+func (wr *Writer) sortedIndices() []int {
+	idx := make([]int, len(wr.sigs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return wr.sigs[idx[a]].Name() < wr.sigs[idx[b]].Name()
+	})
+	return idx
+}
+
+// writeScope emits $scope/$var declarations for all signals under prefix.
+func (wr *Writer) writeScope(prefix string, idx []int) {
+	emitted := map[string]bool{}
+	for _, i := range idx {
+		name := wr.sigs[i].Name()
+		if prefix != "" {
+			if !strings.HasPrefix(name, prefix+".") {
+				continue
+			}
+			name = name[len(prefix)+1:]
+		}
+		if dot := strings.IndexByte(name, '.'); dot >= 0 {
+			child := name[:dot]
+			if emitted[child+"/"] {
+				continue
+			}
+			emitted[child+"/"] = true
+			full := child
+			if prefix != "" {
+				full = prefix + "." + child
+			}
+			fmt.Fprintf(wr.w, "$scope module %s $end\n", child)
+			wr.writeScope(full, idx)
+			fmt.Fprintf(wr.w, "$upscope $end\n")
+			continue
+		}
+		if emitted[name] {
+			continue
+		}
+		emitted[name] = true
+		fmt.Fprintf(wr.w, "$var wire %d %s %s $end\n", wr.sigs[i].Width(), wr.codes[i], name)
+	}
+}
+
+// Sample records the current value of every declared signal at the given
+// time, emitting value changes for signals that differ from the previous
+// sample. The first sample emits a $dumpvars block with all values.
+func (wr *Writer) Sample(time uint64) {
+	if wr.err != nil {
+		return
+	}
+	if !wr.headerDone {
+		wr.writeHeader()
+	}
+	if wr.firstSample {
+		wr.firstSample = false
+		fmt.Fprintf(wr.w, "#%d\n$dumpvars\n", time)
+		for i, s := range wr.sigs {
+			wr.emitChange(i, s.Get())
+			wr.last[i] = s.Get()
+		}
+		fmt.Fprintf(wr.w, "$end\n")
+		return
+	}
+	wrote := false
+	for i, s := range wr.sigs {
+		v := s.Get()
+		if v.Equal(wr.last[i]) {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(wr.w, "#%d\n", time)
+			wrote = true
+		}
+		wr.emitChange(i, v)
+		wr.last[i] = v
+	}
+}
+
+func (wr *Writer) emitChange(i int, v sim.Bits) {
+	if wr.sigs[i].Width() == 1 {
+		if v.Bool() {
+			fmt.Fprintf(wr.w, "1%s\n", wr.codes[i])
+		} else {
+			fmt.Fprintf(wr.w, "0%s\n", wr.codes[i])
+		}
+		return
+	}
+	fmt.Fprintf(wr.w, "b%s %s\n", v.BinaryString(wr.sigs[i].Width()), wr.codes[i])
+}
+
+// Flush writes buffered output and returns the first error encountered.
+func (wr *Writer) Flush() error {
+	if !wr.headerDone {
+		wr.writeHeader()
+	}
+	if err := wr.w.Flush(); err != nil {
+		return err
+	}
+	return wr.err
+}
