@@ -1,0 +1,143 @@
+// Command crvelint statically analyzes bench configuration files before any
+// cycle runs: it parses each *.cfg, runs the internal/lint rule set over the
+// parsed configurations, and reports every problem of the whole set in one
+// pass — the same checks the regression driver applies before a matrix run.
+//
+// Usage:
+//
+//	crvelint [flags] path...
+//
+// Each path is a configuration file or a directory of *.cfg files. All
+// configurations named on one command line are linted as a single set, so
+// cross-configuration rules (duplicate names) see everything at once.
+//
+// Flags:
+//
+//	-json        emit the report as JSON instead of text
+//	-seeds list  comma-separated seed list to lint alongside the configs
+//	-codes       print the diagnostic-code table and exit
+//
+// Exit status is 0 when the set is clean (warnings allowed), 1 when any
+// Error-severity diagnostic was reported, and 2 on usage or I/O failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"crve/internal/lint"
+	"crve/internal/regress"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it lints the paths named in args and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crvelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	seedList := fs.String("seeds", "", "comma-separated seed list to lint alongside the configs")
+	codes := fs.Bool("codes", false, "print the diagnostic-code table and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: crvelint [flags] path...")
+		fmt.Fprintln(stderr, "Each path is a configuration file or a directory of *.cfg files.")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *codes {
+		printCodes(stdout)
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	seeds, err := parseSeeds(*seedList)
+	if err != nil {
+		fmt.Fprintf(stderr, "crvelint: %v\n", err)
+		return 2
+	}
+	var srcs []lint.Source
+	for _, path := range fs.Args() {
+		s, err := loadPath(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "crvelint: %v\n", err)
+			return 2
+		}
+		srcs = append(srcs, s...)
+	}
+
+	report := lint.CheckSet(srcs, seeds)
+	if *jsonOut {
+		if err := report.JSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "crvelint: %v\n", err)
+			return 2
+		}
+	} else {
+		report.Text(stdout)
+	}
+	if report.HasErrors() {
+		return 1
+	}
+	return 0
+}
+
+// loadPath turns one command-line path — a directory of *.cfg files or a
+// single configuration file — into lint sources. Parse failures become
+// CRVE000 diagnostics, not errors: only I/O problems stop the run.
+func loadPath(path string) ([]lint.Source, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return regress.LoadSourceDir(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	src := regress.ParseSource(path, f)
+	// Mirror LoadSourceDir: an unnamed config takes its file name, so
+	// duplicate-name linting matches what a regression run would use.
+	if src.Cfg.Name == "node" {
+		src.Cfg.Name = strings.TrimSuffix(filepath.Base(path), ".cfg")
+	}
+	return []lint.Source{src}, nil
+}
+
+// parseSeeds parses the -seeds flag: a comma-separated list of int64s.
+func parseSeeds(list string) ([]int64, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var seeds []int64
+	for _, field := range strings.Split(list, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in -seeds", field)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds, nil
+}
+
+// printCodes renders the rule table: every diagnostic code, its severity
+// and a one-line summary.
+func printCodes(w io.Writer) {
+	for _, rule := range lint.Rules() {
+		fmt.Fprintf(w, "%s  %-7s  %s\n", rule.Code, rule.Severity, rule.Summary)
+	}
+}

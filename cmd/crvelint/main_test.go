@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"crve/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runCLI invokes the command body from the repository root and returns its
+// exit code and streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	t.Chdir("../..")
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestBadCorpusGolden locks down the full report over the negative corpus:
+// one configuration per diagnostic code, plus a duplicated seed. Any change
+// to rule text, positions, ordering or the summary line shows up as a diff.
+func TestBadCorpusGolden(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-seeds", "1,2,1", "configs/bad")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (corpus has lint errors); stderr: %s", code, stderr)
+	}
+	const golden = "cmd/crvelint/testdata/bad.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("report differs from %s (rerun with -update to accept):\ngot:\n%s\nwant:\n%s",
+			golden, stdout, want)
+	}
+}
+
+// TestBadCorpusCoversEveryCode asserts the corpus stays exhaustive: every
+// published diagnostic code must appear in the report at its declared
+// severity, so adding a rule without a negative fixture fails here.
+func TestBadCorpusCoversEveryCode(t *testing.T) {
+	_, stdout, _ := runCLI(t, "-seeds", "1,2,1", "configs/bad")
+	for _, rule := range lint.Rules() {
+		needle := rule.Severity.String() + ": " + string(rule.Code) + ":"
+		if !strings.Contains(stdout, needle) {
+			t.Errorf("no %s diagnostic for %s in the corpus report", rule.Severity, rule.Code)
+		}
+	}
+}
+
+func TestShippedConfigsExitClean(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "configs")
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "0 error(s), 0 warning(s)") {
+		t.Errorf("shipped configs are not lint-clean:\n%s", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "configs/bad/crve002_overlap.cfg")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	var report struct {
+		Diagnostics []struct {
+			Code string `json:"code"`
+		} `json:"diagnostics"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if report.Errors != 1 || len(report.Diagnostics) != 1 || report.Diagnostics[0].Code != "CRVE002" {
+		t.Errorf("unexpected JSON report: %+v", report)
+	}
+}
+
+func TestCodesTable(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-codes")
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	for _, rule := range lint.Rules() {
+		if !strings.Contains(stdout, string(rule.Code)) {
+			t.Errorf("-codes table missing %s", rule.Code)
+		}
+	}
+}
+
+func TestUsageAndIOFailures(t *testing.T) {
+	if code, _, stderr := runCLI(t); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Errorf("no args: code=%d stderr=%q, want 2 + usage", code, stderr)
+	}
+	if code, _, _ := runCLI(t, "configs/no-such-dir"); code != 2 {
+		t.Errorf("missing path: code=%d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, "-seeds", "1,x", "configs"); code != 2 || !strings.Contains(stderr, "bad seed") {
+		t.Errorf("bad seeds: code=%d stderr=%q, want 2 + bad seed", code, stderr)
+	}
+}

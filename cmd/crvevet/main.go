@@ -1,0 +1,18 @@
+// Command crvevet is the repo's custom vet tool: it serves the Go-invariant
+// analyzers of internal/analysis over the `go vet -vettool` protocol, so the
+// codebase's own conventions are machine-checked alongside the standard vet
+// suite:
+//
+//	go build -o bin/crvevet ./cmd/crvevet
+//	go vet -vettool=bin/crvevet ./...
+//
+// Individual analyzers can be toggled like any vet check, e.g.
+// `-configliteral=false`. See also cmd/crvelint, which lints the bench
+// configuration files themselves.
+package main
+
+import "crve/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.Analyzers()...)
+}

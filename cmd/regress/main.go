@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"crve/internal/core"
+	"crve/internal/lint"
 	"crve/internal/nodespec"
 	"crve/internal/regress"
 	"crve/internal/testcases"
@@ -38,15 +39,16 @@ func main() {
 		outDir    = flag.String("out", "", "directory for reports and VCD dumps")
 		emitDir   = flag.String("emit", "", "write the standard matrix as .cfg files and exit")
 		verbose   = flag.Bool("v", false, "log each run")
+		nolint    = flag.Bool("nolint", false, "skip the static-analysis gate and run even with lint errors")
 	)
 	flag.Parse()
-	if err := run(*configDir, *matrix, *quick, *testsArg, *seedsArg, *outDir, *emitDir, *verbose); err != nil {
+	if err := run(*configDir, *matrix, *quick, *testsArg, *seedsArg, *outDir, *emitDir, *verbose, *nolint); err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitDir string, verbose bool) error {
+func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitDir string, verbose, nolint bool) error {
 	if emitDir != "" {
 		if err := os.MkdirAll(emitDir, 0o755); err != nil {
 			return err
@@ -99,7 +101,29 @@ func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitD
 		seeds = append(seeds, v)
 	}
 
-	opt := regress.Options{Tests: tests, Seeds: seeds}
+	// Static-analysis gate: lint the whole set (with file:line positions
+	// when the configs came from a directory) before any cycle runs.
+	var rep *lint.Report
+	if configDir != "" {
+		srcs, err := regress.LoadSourceDir(configDir)
+		if err != nil {
+			return err
+		}
+		rep = lint.CheckSet(srcs, seeds)
+	} else {
+		rep = regress.LintConfigs(cfgs, seeds)
+	}
+	for _, d := range rep.Diags {
+		fmt.Fprintln(os.Stderr, "lint:", d)
+	}
+	if rep.HasErrors() {
+		if !nolint {
+			return fmt.Errorf("%s (run crvelint for details, or pass -nolint to override)", rep.Summary())
+		}
+		fmt.Fprintf(os.Stderr, "lint: %s — continuing because -nolint is set\n", rep.Summary())
+	}
+
+	opt := regress.Options{Tests: tests, Seeds: seeds, NoLint: true} // linted above
 	if verbose {
 		opt.Log = os.Stdout
 	}

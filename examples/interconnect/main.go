@@ -90,7 +90,7 @@ func main() {
 			{Base: memABase, Size: 0x10_0000, Target: 0},
 			{Base: memBBase, Size: 0x10_0000, Target: 1},
 		},
-	})
+	}.WithDefaults())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func main() {
 			{Base: memBBase, Size: 0x8_0000, Target: 0},
 			{Base: regBase, Size: 0x8_0000, Target: 1},
 		},
-	})
+	}.WithDefaults())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The analyzers key on the import paths of the real repo packages; the test
+// fixtures are tiny stand-ins typechecked under those paths.
+const stubStbus = `package stbus
+type Type int
+type Endianness int
+const (
+	Type1 Type = 1
+	Type2 Type = 2
+	Type3 Type = 3
+)
+type PortConfig struct {
+	Type     Type
+	DataBits int
+	AddrBits int
+	Endian   Endianness
+}
+func (c PortConfig) WithDefaults() PortConfig { return c }
+`
+
+const stubNodespec = `package nodespec
+import "crve/internal/stbus"
+type Config struct {
+	Name            string
+	Port            stbus.PortConfig
+	NumInit, NumTgt int
+}
+func (c Config) WithDefaults() Config { return c }
+func (c Config) Validate() error      { return nil }
+`
+
+// mapImporter resolves imports from packages already typechecked in the
+// test.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("test importer: unknown package %q", path)
+}
+
+// check typechecks one source file as package path and returns everything an
+// analyzer pass needs.
+func check(t *testing.T, imp mapImporter, path, filename, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{Importer: imp}).Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// stubs typechecks the stand-in stbus and nodespec packages.
+func stubs(t *testing.T) mapImporter {
+	t.Helper()
+	imp := mapImporter{}
+	fset := token.NewFileSet()
+	for _, p := range []struct{ path, src string }{
+		{"crve/internal/stbus", stubStbus},
+		{"crve/internal/nodespec", stubNodespec},
+	} {
+		f, err := parser.ParseFile(fset, p.path+"/stub.go", p.src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := (&types.Config{Importer: imp}).Check(p.path, fset, []*ast.File{f}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp[p.path] = pkg
+	}
+	return imp
+}
+
+// runOn runs one analyzer over a client source file and returns the
+// diagnostic messages with line numbers.
+func runOn(t *testing.T, a *Analyzer, filename, src string) []string {
+	t.Helper()
+	fset, files, pkg, info := check(t, stubs(t), "crve/example/client", filename, src)
+	diags, err := Run([]*Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%d: %s", fset.Position(d.Pos).Line, d.Message))
+	}
+	return out
+}
+
+func TestConfigLiteralFlagsRawLiteralArgument(t *testing.T) {
+	src := `package client
+import "crve/internal/nodespec"
+func build(cfg nodespec.Config) error { return cfg.Validate() }
+func bad() {
+	build(nodespec.Config{Name: "raw"}) // line 5: flagged
+}
+func good() {
+	build(nodespec.Config{Name: "ok"}.WithDefaults())
+	cfg := nodespec.Config{Name: "var"}
+	build(cfg.WithDefaults())
+}
+`
+	got := runOn(t, ConfigLiteral, "client.go", src)
+	if len(got) != 1 || !strings.HasPrefix(got[0], "5: ") {
+		t.Fatalf("want exactly one finding on line 5, got %v", got)
+	}
+	if !strings.Contains(got[0], "WithDefaults") || !strings.Contains(got[0], "build") {
+		t.Errorf("message should name the call and the fix: %v", got[0])
+	}
+}
+
+func TestPortWidthFlagsMissingAndBadWidths(t *testing.T) {
+	src := `package client
+import (
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+func newPort(cfg stbus.PortConfig) {}
+func bad() {
+	newPort(stbus.PortConfig{Type: stbus.Type3})                 // line 8: no DataBits
+	newPort(stbus.PortConfig{Type: stbus.Type3, DataBits: 24})   // line 9: bad width
+	_ = nodespec.Config{Port: stbus.PortConfig{Type: stbus.Type2}} // line 10: field value, no DataBits
+	newPort(stbus.PortConfig{stbus.Type2, 12, 32, 0})            // line 11: positional, bad width
+}
+func good() {
+	newPort(stbus.PortConfig{Type: stbus.Type3, DataBits: 32})
+	_ = nodespec.Config{Port: stbus.PortConfig{Type: stbus.Type2, DataBits: 64}}
+	newPort(stbus.PortConfig{}.WithDefaults()) // empty literal = deliberate zero value
+	w := 24
+	newPort(stbus.PortConfig{Type: stbus.Type3, DataBits: w}) // non-constant: not judged
+}
+`
+	got := runOn(t, PortWidth, "client.go", src)
+	if len(got) != 4 {
+		t.Fatalf("want 4 findings, got %d: %v", len(got), got)
+	}
+	for i, line := range []string{"8: ", "9: ", "10: ", "11: "} {
+		if !strings.HasPrefix(got[i], line) {
+			t.Errorf("finding %d on wrong line: %v", i, got[i])
+		}
+	}
+}
+
+func TestPortWidthSkipsTestFiles(t *testing.T) {
+	src := `package client
+import "crve/internal/stbus"
+func newPort(cfg stbus.PortConfig) {}
+func deliberatelyBad() {
+	newPort(stbus.PortConfig{Type: stbus.Type2, DataBits: 7}) // exercising the panic path
+}
+`
+	if got := runOn(t, PortWidth, "client_test.go", src); len(got) != 0 {
+		t.Fatalf("portwidth must not fire in _test.go files, got %v", got)
+	}
+}
+
+func TestAnalyzersAreRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer %s", a.Name)
+		}
+		names[a.Name] = true
+	}
+	if !names["configliteral"] || !names["portwidth"] {
+		t.Errorf("expected analyzers missing: %v", names)
+	}
+}
+
+func TestPrintFlagsJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	printFlagsJSON(&buf)
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not the JSON shape go vet expects: %v\n%s", err, buf.String())
+	}
+}
+
+// TestVettoolEndToEnd is the acceptance check for the vet protocol: build
+// cmd/crvevet and let the real go command drive it over this repository.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole repo")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go command not available")
+	}
+	tool := filepath.Join(t.TempDir(), "crvevet")
+	build := exec.Command(goTool, "build", "-o", tool, "crve/cmd/crvevet")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building crvevet: %v\n%s", err, out)
+	}
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = repoRoot(t)
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported findings or failed: %v\n%s", err, out)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(dir)) // internal/analysis -> repo root
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file the go command writes for
+// each package when running `go vet -vettool=...` (cmd/go/internal/work's
+// vetConfig). Field names are part of the vet command-line protocol.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool binary (cmd/crvevet): it implements
+// the (unpublished) vet command-line protocol the go command speaks to the
+// tool named by `go vet -vettool`:
+//
+//	tool -V=full          print a version line for the build cache
+//	tool -flags           print the tool's flags as JSON
+//	tool [flags] vet.cfg  analyze the package described by the JSON config
+//
+// The protocol and behavior follow x/tools' unitchecker, rebuilt on the
+// standard library. Diagnostics go to stderr as file:line:col: messages and
+// the tool exits 2, which `go vet` reports as the package failing vet.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	v := flag.String("V", "", "print version and exit (-V=full for the build cache)")
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		name := a.Name
+		if _, dup := enabled[name]; dup {
+			log.Fatalf("duplicate analyzer name %q", name)
+		}
+		enabled[name] = flag.Bool(name, true, a.Doc)
+	}
+	flag.Parse()
+
+	switch {
+	case *v != "":
+		// The go command parses this exact shape (see work.Builder.toolID):
+		// name, "version", and for devel builds a trailing buildID field.
+		fmt.Printf("%s version devel comments-go-here buildID=devel\n", progname)
+		return
+	case *printflags:
+		printFlagsJSON(os.Stdout)
+		return
+	}
+
+	if flag.NArg() != 1 || !strings.HasSuffix(flag.Arg(0), ".cfg") {
+		log.Fatalf(`invoked directly; this tool is driven by the go command:
+	go vet -vettool=%s ./...`, os.Args[0])
+	}
+
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	os.Exit(runVet(flag.Arg(0), active))
+}
+
+// printFlagsJSON emits the registered flags in the JSON shape
+// cmd/go/internal/vet expects from `tool -flags`.
+func printFlagsJSON(w io.Writer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	data, err := json.Marshal(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "%s\n", data)
+}
+
+// runVet analyzes one package per the vet.cfg protocol file and returns the
+// process exit code.
+func runVet(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+
+	// Our analyzers exchange no facts between packages, so dependency-only
+	// invocations (VetxOnly) need no work beyond producing the (empty)
+	// facts file the go command caches.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg)
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, func(importPath string) (io.ReadCloser, error) {
+			if p, ok := cfg.ImportMap[importPath]; ok {
+				importPath = p
+			}
+			file, ok := cfg.PackageFile[importPath]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", importPath)
+			}
+			return os.Open(file)
+		}),
+		Sizes: types.SizesFor(cfg.Compiler, goarch()),
+	}
+	if lang := version.Lang(cfg.GoVersion); lang != "" {
+		tc.GoVersion = lang
+	}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			return 0
+		}
+		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(cfg)
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return 2
+}
+
+// writeVetx writes the (empty) serialized-facts output the go command
+// expects every vet invocation to produce, so results cache across builds.
+func writeVetx(cfg vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		log.Fatalf("write facts: %v", err)
+	}
+}
+
+// goarch returns the architecture the package is being vetted for: the
+// go command forwards GOARCH in the environment when cross-compiling.
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"sort"
+
+	"crve/internal/arb"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// Source is one configuration as seen by the linter: the parsed parameter
+// set plus enough provenance to position diagnostics. KeyLine maps a
+// parameter-file key (e.g. "map", "pipe") to the line that set it; it is nil
+// for configurations synthesised in memory (the standard matrix), in which
+// case diagnostics are positioned at the file level.
+type Source struct {
+	// File is the parameter-file path, or a display name (the config name)
+	// for in-memory configurations.
+	File string
+	// Cfg is the parsed configuration, with defaults applied.
+	Cfg nodespec.Config
+	// KeyLine maps parameter keys to 1-based line numbers.
+	KeyLine map[string]int
+	// Parse holds parse-stage diagnostics (CodeParse). When it contains an
+	// Error the semantic analyzers are skipped for this source: a half-
+	// parsed config would only produce cascade noise.
+	Parse []Diagnostic
+}
+
+// MemSource wraps an in-memory configuration (no file, no line numbers) for
+// linting, positioning diagnostics at the configuration name.
+func MemSource(cfg nodespec.Config) Source {
+	cfg = cfg.WithDefaults()
+	return Source{File: cfg.Name, Cfg: cfg}
+}
+
+// keyPos positions a diagnostic at the line that set key, falling back to
+// the file as a whole when the key never appeared (or the source is
+// in-memory).
+func (s Source) keyPos(key string) Position {
+	return Position{File: s.File, Line: s.KeyLine[key]}
+}
+
+// hasKey reports whether the parameter file set key explicitly.
+func (s Source) hasKey(key string) bool {
+	_, ok := s.KeyLine[key]
+	return ok
+}
+
+// Rule documents one lint rule for the CLI code table and DESIGN.md.
+type Rule struct {
+	Code     Code
+	Severity Severity
+	Summary  string
+}
+
+// Rules returns the rule table in code order.
+func Rules() []Rule {
+	return []Rule{
+		{CodeParse, Error, "parameter file does not parse (syntax, unknown key, bad value)"},
+		{CodeRegionMalformed, Error, "address-map region with zero size or wrapping past 2^64"},
+		{CodeRegionOverlap, Error, "address-map regions overlap"},
+		{CodeRegionGap, Warning, "hole between consecutive address-map regions"},
+		{CodeRegionTarget, Error, "region routes to a target port index out of range"},
+		{CodeTargetUnmapped, Error, "target port that no address-map region routes to"},
+		{CodeRegionAddrWidth, Error, "region extends beyond the 2^addr_bits address space"},
+		{CodeRegionAlign, Warning, "region boundary not aligned to the data-bus width"},
+		{CodeAllowedShape, Error, "partial-crossbar allowed matrix has the wrong shape"},
+		{CodeInitiatorStranded, Error, "partial-crossbar row strands an initiator (no reachable target)"},
+		{CodeTargetIsolated, Warning, "partial-crossbar target reachable by no initiator"},
+		{CodeProgPort, Error, "programming port without prog_base, or its region overlaps the map"},
+		{CodeProgArb, Warning, "programmable arbitration without a programming port"},
+		{CodePipeProtocol, Warning, "pipe depth inconsistent with the protocol type"},
+		{CodePortParam, Error, "illegal port/node parameter (type, width, endianness, counts, pipe)"},
+		{CodeDupName, Error, "duplicate configuration name in the lint set"},
+		{CodeDupSeed, Warning, "duplicate seed in the seed list"},
+	}
+}
+
+// Check runs every per-configuration analyzer over one source and returns
+// its report. Matrix-level rules (duplicate names, duplicate seeds) live in
+// CheckSet.
+func Check(src Source) *Report {
+	r := &Report{}
+	r.Diags = append(r.Diags, src.Parse...)
+	for _, d := range src.Parse {
+		if d.Severity == Error {
+			return r
+		}
+	}
+	cfg := src.Cfg.WithDefaults()
+	portsOK := checkPortParams(r, src, cfg)
+	checkMap(r, src, cfg, portsOK)
+	checkCrossbar(r, src, cfg, portsOK)
+	checkProg(r, src, cfg)
+	checkPipe(r, src, cfg)
+	return r
+}
+
+// CheckSet lints a whole regression matrix: every configuration plus the
+// cross-configuration and run-level rules. seeds may be nil when the seed
+// list is not known yet.
+func CheckSet(srcs []Source, seeds []int64) *Report {
+	r := &Report{}
+	for _, src := range srcs {
+		r.Diags = append(r.Diags, Check(src).Diags...)
+	}
+	checkDupNames(r, srcs)
+	checkDupSeeds(r, seeds)
+	r.Sort()
+	return r
+}
+
+// checkPortParams is the positioned version of stbus.PortConfig.Validate
+// plus the node port-count and pipe ranges from nodespec.Config.Validate.
+// It reports whether the shape parameters (counts, widths) are sane enough
+// for the structural analyzers to run without cascading.
+func checkPortParams(r *Report, src Source, cfg nodespec.Config) bool {
+	ok := true
+	switch cfg.Port.Type {
+	case stbus.Type2, stbus.Type3:
+	case stbus.Type1:
+		r.Addf(src.keyPos("type"), CodePortParam, Error,
+			"node supports protocol t2/t3 only (t1 peripherals attach via a type converter)")
+	default:
+		r.Addf(src.keyPos("type"), CodePortParam, Error,
+			"bad protocol type %d", int(cfg.Port.Type))
+	}
+	switch cfg.Port.DataBits {
+	case 8, 16, 32, 64, 128, 256:
+	default:
+		r.Addf(src.keyPos("data_bits"), CodePortParam, Error,
+			"bad data width %d (want 8..256, power of two)", cfg.Port.DataBits)
+		ok = false
+	}
+	if cfg.Port.AddrBits < 1 || cfg.Port.AddrBits > 64 {
+		r.Addf(src.keyPos("addr_bits"), CodePortParam, Error,
+			"bad address width %d (want 1..64)", cfg.Port.AddrBits)
+		ok = false
+	}
+	if cfg.Port.Endian != stbus.LittleEndian && cfg.Port.Endian != stbus.BigEndian {
+		r.Addf(src.keyPos("endian"), CodePortParam, Error,
+			"bad endianness %d", int(cfg.Port.Endian))
+	}
+	if cfg.NumInit < 1 || cfg.NumInit > nodespec.MaxPorts {
+		r.Addf(src.keyPos("num_init"), CodePortParam, Error,
+			"%d initiators out of range 1..%d", cfg.NumInit, nodespec.MaxPorts)
+		ok = false
+	}
+	if cfg.NumTgt < 1 || cfg.NumTgt > nodespec.MaxPorts {
+		r.Addf(src.keyPos("num_tgt"), CodePortParam, Error,
+			"%d targets out of range 1..%d", cfg.NumTgt, nodespec.MaxPorts)
+		ok = false
+	}
+	if cfg.PipeSize < 1 || cfg.PipeSize > 64 {
+		r.Addf(src.keyPos("pipe"), CodePortParam, Error,
+			"pipe size %d out of range 1..64", cfg.PipeSize)
+	}
+	return ok
+}
+
+// addrSpace returns the first address past the port address space, or 0 when
+// the space covers all 64 bits.
+func addrSpace(addrBits int) uint64 {
+	if addrBits <= 0 || addrBits >= 64 {
+		return 0
+	}
+	return uint64(1) << addrBits
+}
+
+// checkMap analyzes the address map: malformed regions, overlaps, gaps,
+// out-of-range and unreachable targets, address-space overflow and bus-width
+// alignment.
+func checkMap(r *Report, src Source, cfg nodespec.Config, portsOK bool) {
+	pos := src.keyPos("map")
+	if len(cfg.Map) == 0 {
+		r.Addf(Position{File: src.File}, CodeTargetUnmapped, Error,
+			"configuration has no address map: every target port is unreachable")
+		return
+	}
+	sorted := append(stbus.AddrMap(nil), cfg.Map...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+
+	space := addrSpace(cfg.Port.AddrBits)
+	busBytes := uint64(cfg.Port.DataBits / 8)
+	for i, reg := range sorted {
+		if reg.Size == 0 {
+			r.Addf(pos, CodeRegionMalformed, Error,
+				"region %#x:%#x has zero size", reg.Base, reg.Size)
+			continue
+		}
+		if reg.End() < reg.Base {
+			r.Addf(pos, CodeRegionMalformed, Error,
+				"region at %#x wraps past the end of the 64-bit address space", reg.Base)
+			continue
+		}
+		if portsOK && (reg.Target < 0 || reg.Target >= cfg.NumTgt) {
+			r.Addf(pos, CodeRegionTarget, Error,
+				"region at %#x routes to target %d, but the node has targets 0..%d",
+				reg.Base, reg.Target, cfg.NumTgt-1)
+		}
+		if space != 0 && (reg.Base >= space || reg.End() > space) {
+			r.Addf(pos, CodeRegionAddrWidth, Error,
+				"region %#x..%#x extends beyond the %d-bit address space (last address %#x)",
+				reg.Base, reg.End()-1, cfg.Port.AddrBits, space-1)
+		}
+		if portsOK && busBytes > 0 && (reg.Base%busBytes != 0 || reg.Size%busBytes != 0) {
+			r.Addf(pos, CodeRegionAlign, Warning,
+				"region %#x:%#x is not aligned to the %d-byte data bus: a bus-wide beat would straddle targets",
+				reg.Base, reg.Size, busBytes)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := sorted[i-1]
+		if prev.End() > reg.Base {
+			r.Addf(pos, CodeRegionOverlap, Error,
+				"regions at %#x and %#x overlap", prev.Base, reg.Base)
+		} else if prev.End() < reg.Base {
+			r.Addf(pos, CodeRegionGap, Warning,
+				"hole %#x..%#x between regions: requests there get error responses",
+				prev.End(), reg.Base-1)
+		}
+	}
+
+	if portsOK {
+		covered := make([]bool, cfg.NumTgt)
+		for _, reg := range cfg.Map {
+			if reg.Target >= 0 && reg.Target < cfg.NumTgt {
+				covered[reg.Target] = true
+			}
+		}
+		for t, ok := range covered {
+			if !ok {
+				r.Addf(pos, CodeTargetUnmapped, Error,
+					"target %d has no address-map region: the port can never receive a request", t)
+			}
+		}
+	}
+}
+
+// checkCrossbar analyzes the partial-crossbar connectivity matrix: shape,
+// stranded initiators and isolated targets.
+func checkCrossbar(r *Report, src Source, cfg nodespec.Config, portsOK bool) {
+	if cfg.Arch != nodespec.PartialCrossbar || !portsOK {
+		return
+	}
+	pos := src.keyPos("allowed")
+	if len(cfg.Allowed) != cfg.NumInit {
+		r.Addf(pos, CodeAllowedShape, Error,
+			"allowed matrix has %d rows, want one per initiator (%d)", len(cfg.Allowed), cfg.NumInit)
+		return
+	}
+	for i, row := range cfg.Allowed {
+		if len(row) != cfg.NumTgt {
+			r.Addf(pos, CodeAllowedShape, Error,
+				"allowed row %d has %d columns, want one per target (%d)", i, len(row), cfg.NumTgt)
+			return
+		}
+	}
+	for i, row := range cfg.Allowed {
+		stranded := true
+		for _, ok := range row {
+			if ok {
+				stranded = false
+				break
+			}
+		}
+		if stranded {
+			r.Addf(pos, CodeInitiatorStranded, Error,
+				"initiator %d can reach no target: its row of the allowed matrix is all zero", i)
+		}
+	}
+	for t := 0; t < cfg.NumTgt; t++ {
+		isolated := true
+		for i := 0; i < cfg.NumInit; i++ {
+			if cfg.Allowed[i][t] {
+				isolated = false
+				break
+			}
+		}
+		if isolated {
+			r.Addf(pos, CodeTargetIsolated, Warning,
+				"target %d is reachable by no initiator: its column of the allowed matrix is all zero", t)
+		}
+	}
+}
+
+// checkProg analyzes the programming port: prog_port without prog_base, the
+// register region overlapping the address map or falling outside the address
+// space, and a programmable policy without the port.
+func checkProg(r *Report, src Source, cfg nodespec.Config) {
+	if cfg.ProgPort {
+		pos := src.keyPos("prog_port")
+		progEnd := cfg.ProgBase + uint64(4*cfg.NumInit)
+		if cfg.ProgBase == 0 && !src.hasKey("prog_base") {
+			r.Addf(pos, CodeProgPort, Error,
+				"prog_port enabled without prog_base: the priority registers have no address")
+		} else {
+			for _, reg := range cfg.Map {
+				if cfg.ProgBase < reg.End() && reg.Base < progEnd {
+					r.Addf(src.keyPos("prog_base"), CodeProgPort, Error,
+						"programming region %#x..%#x overlaps the map region at %#x",
+						cfg.ProgBase, progEnd-1, reg.Base)
+				}
+			}
+			if space := addrSpace(cfg.Port.AddrBits); space != 0 && progEnd > space {
+				r.Addf(src.keyPos("prog_base"), CodeProgPort, Error,
+					"programming region %#x..%#x extends beyond the %d-bit address space",
+					cfg.ProgBase, progEnd-1, cfg.Port.AddrBits)
+			}
+		}
+	}
+	if !cfg.ProgPort && (cfg.ReqArb == arb.Programmable || cfg.RespArb == arb.Programmable) {
+		r.Addf(src.keyPos("req_arb"), CodeProgArb, Warning,
+			"programmable arbitration without prog_port: priorities are frozen at the power-on defaults")
+	}
+}
+
+// checkPipe analyzes pipe depth against the protocol type.
+func checkPipe(r *Report, src Source, cfg nodespec.Config) {
+	if cfg.PipeSize < 1 || cfg.PipeSize > 64 {
+		return // already reported by checkPortParams
+	}
+	pos := src.keyPos("pipe")
+	if cfg.Port.Type == stbus.Type3 && cfg.PipeSize == 1 {
+		r.Addf(pos, CodePipeProtocol, Warning,
+			"t3 node with pipe 1 cannot overlap requests: the out-of-order logic is unreachable")
+	}
+	if cfg.PipeSize&(cfg.PipeSize-1) != 0 {
+		r.Addf(pos, CodePipeProtocol, Warning,
+			"pipe size %d is not a power of two and does not map onto the RTL pipe stages", cfg.PipeSize)
+	}
+}
+
+// checkDupNames reports configurations that share a name: their reports and
+// VCD artifacts would overwrite each other in the output directory.
+func checkDupNames(r *Report, srcs []Source) {
+	first := map[string]Source{}
+	for _, src := range srcs {
+		name := src.Cfg.WithDefaults().Name
+		if prev, ok := first[name]; ok {
+			r.Addf(src.keyPos("name"), CodeDupName, Error,
+				"configuration name %q already used by %s: reports and VCDs would overwrite", name, prev.File)
+			continue
+		}
+		first[name] = src
+	}
+}
+
+// checkDupSeeds reports seeds that appear twice in the run's seed list.
+func checkDupSeeds(r *Report, seeds []int64) {
+	seen := map[int64]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			r.Addf(Position{}, CodeDupSeed, Warning,
+				"seed %d appears more than once: the duplicate run adds cycles but no coverage", s)
+			continue
+		}
+		seen[s] = true
+	}
+}

@@ -10,6 +10,7 @@ package regress
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,9 +20,56 @@ import (
 	"strings"
 
 	"crve/internal/arb"
+	"crve/internal/lint"
 	"crve/internal/nodespec"
 	"crve/internal/stbus"
 )
+
+// lineError is one parse failure with its 1-based line number, so callers
+// can report every broken line of a parameter file at once.
+type lineError struct {
+	line int
+	err  error
+}
+
+// parseLines scans one parameter file, applying every `key = value` line and
+// accumulating (rather than short-circuiting on) per-line failures. It
+// returns the partially-filled configuration, the line on which each key was
+// set, and every parse error.
+func parseLines(r io.Reader) (nodespec.Config, map[string]int, []lineError) {
+	cfg := nodespec.Config{}
+	keyLine := map[string]int{}
+	var errs []lineError
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(text, "=")
+		if !ok {
+			errs = append(errs, lineError{line, fmt.Errorf("expected key = value")})
+			continue
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if err := applyParam(&cfg, key, val); err != nil {
+			errs = append(errs, lineError{line, err})
+			continue
+		}
+		keyLine[key] = line
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, lineError{line, err})
+	}
+	return cfg, keyLine, errs
+}
 
 // ParseConfig reads one HDL-parameter file. The format is line-oriented
 // `key = value` with `#` comments:
@@ -40,35 +88,41 @@ import (
 //	allowed   = 11,10         # partial only: one row per initiator
 //	prog_port = true
 //	prog_base = 0x8000
+//
+// Every broken line is reported (the errors are joined, one `regress: line
+// N:` entry per failure) instead of stopping at the first; the semantic
+// Validate pass runs only when the file parsed cleanly. For positioned,
+// coded diagnostics use ParseSource and internal/lint instead.
 func ParseConfig(r io.Reader) (nodespec.Config, error) {
-	cfg := nodespec.Config{}
-	sc := bufio.NewScanner(r)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if i := strings.IndexByte(text, '#'); i >= 0 {
-			text = text[:i]
+	cfg, _, lineErrs := parseLines(r)
+	if len(lineErrs) > 0 {
+		errs := make([]error, len(lineErrs))
+		for i, le := range lineErrs {
+			errs[i] = fmt.Errorf("regress: line %d: %w", le.line, le.err)
 		}
-		text = strings.TrimSpace(text)
-		if text == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(text, "=")
-		if !ok {
-			return cfg, fmt.Errorf("regress: line %d: expected key = value", line)
-		}
-		key = strings.TrimSpace(key)
-		val = strings.TrimSpace(val)
-		if err := applyParam(&cfg, key, val); err != nil {
-			return cfg, fmt.Errorf("regress: line %d: %w", line, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return cfg, err
+		return cfg, errors.Join(errs...)
 	}
 	cfg = cfg.WithDefaults()
 	return cfg, cfg.Validate()
+}
+
+// ParseSource reads one HDL-parameter file into a lint.Source: the parsed
+// configuration plus the per-key line positions the static analyzers use to
+// anchor diagnostics. Parse failures become CRVE000 diagnostics on the
+// source rather than an error, so a whole configuration directory can be
+// linted in one pass.
+func ParseSource(file string, r io.Reader) lint.Source {
+	cfg, keyLine, lineErrs := parseLines(r)
+	src := lint.Source{File: file, Cfg: cfg.WithDefaults(), KeyLine: keyLine}
+	for _, le := range lineErrs {
+		src.Parse = append(src.Parse, lint.Diagnostic{
+			Pos:      lint.Position{File: file, Line: le.line},
+			Code:     lint.CodeParse,
+			Severity: lint.Error,
+			Msg:      le.err.Error(),
+		})
+	}
+	return src
 }
 
 func applyParam(cfg *nodespec.Config, key, val string) error {
@@ -252,8 +306,8 @@ func FormatConfig(cfg nodespec.Config) string {
 	return sb.String()
 }
 
-// LoadConfigDir parses every *.cfg file in dir, sorted by file name.
-func LoadConfigDir(dir string) ([]nodespec.Config, error) {
+// cfgFileNames lists the *.cfg files of dir, sorted by name.
+func cfgFileNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -267,6 +321,15 @@ func LoadConfigDir(dir string) ([]nodespec.Config, error) {
 	sort.Strings(names)
 	if len(names) == 0 {
 		return nil, fmt.Errorf("regress: no .cfg files in %s", dir)
+	}
+	return names, nil
+}
+
+// LoadConfigDir parses every *.cfg file in dir, sorted by file name.
+func LoadConfigDir(dir string) ([]nodespec.Config, error) {
+	names, err := cfgFileNames(dir)
+	if err != nil {
+		return nil, err
 	}
 	var cfgs []nodespec.Config
 	for _, name := range names {
@@ -285,4 +348,32 @@ func LoadConfigDir(dir string) ([]nodespec.Config, error) {
 		cfgs = append(cfgs, cfg)
 	}
 	return cfgs, nil
+}
+
+// LoadSourceDir parses every *.cfg file in dir into lint sources. Unlike
+// LoadConfigDir it does not fail on broken files: parse failures ride along
+// as CRVE000 diagnostics so crvelint reports every problem of the directory
+// in one pass. Only I/O failures (or an empty directory) are errors.
+func LoadSourceDir(dir string) ([]lint.Source, error) {
+	names, err := cfgFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	var srcs []lint.Source
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		src := ParseSource(path, f)
+		f.Close()
+		// Mirror LoadConfigDir: an unnamed config takes its file name, so
+		// duplicate-name linting matches what a run would use.
+		if src.Cfg.Name == "node" {
+			src.Cfg.Name = strings.TrimSuffix(name, ".cfg")
+		}
+		srcs = append(srcs, src)
+	}
+	return srcs, nil
 }

@@ -10,6 +10,7 @@ import (
 	"crve/internal/bca"
 	"crve/internal/core"
 	"crve/internal/coverage"
+	"crve/internal/lint"
 	"crve/internal/nodespec"
 	"crve/internal/stbus"
 	"crve/internal/testcases"
@@ -292,5 +293,137 @@ func TestWriteReports(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(base, f)); err != nil {
 			t.Errorf("missing artifact %s: %v", f, err)
 		}
+	}
+}
+
+func TestParseConfigAccumulatesAllErrors(t *testing.T) {
+	src := `
+name = multi
+type = t9
+data_bits = thirty
+num_init = 2
+num_tgt = 2
+arch = full
+map = 0x1000:0x800:0, 0x1800:0x800:1
+bogus = 1
+`
+	_, err := ParseConfig(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("broken config must fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{"line 3", "line 4", "line 9"} {
+		if !strings.Contains(msg, "regress: "+want) {
+			t.Errorf("error does not report %s:\n%s", want, msg)
+		}
+	}
+}
+
+func TestParseSourcePositions(t *testing.T) {
+	src := ParseSource("x.cfg", strings.NewReader(sampleCfg))
+	if len(src.Parse) != 0 {
+		t.Fatalf("clean config produced parse diagnostics: %v", src.Parse)
+	}
+	// sampleCfg starts with a blank line and a comment; `name` is line 3.
+	if src.KeyLine["name"] != 3 || src.KeyLine["map"] != 13 {
+		t.Errorf("key lines wrong: %v", src.KeyLine)
+	}
+	if src.Cfg.Name != "sample" || src.File != "x.cfg" {
+		t.Errorf("source %q cfg %v", src.File, src.Cfg)
+	}
+
+	bad := ParseSource("y.cfg", strings.NewReader("gibberish\nname = ok\n"))
+	if len(bad.Parse) != 1 || bad.Parse[0].Pos.Line != 1 || bad.Parse[0].Code != lint.CodeParse {
+		t.Errorf("parse diagnostics: %v", bad.Parse)
+	}
+}
+
+func TestLoadSourceDirCollectsBrokenFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "good.cfg"), []byte(sampleCfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.cfg"), []byte("what\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := LoadSourceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("loaded %d sources, want 2", len(srcs))
+	}
+	// Sorted by file name: broken.cfg first.
+	if len(srcs[0].Parse) != 1 || len(srcs[1].Parse) != 0 {
+		t.Errorf("parse diagnostics misplaced: %v / %v", srcs[0].Parse, srcs[1].Parse)
+	}
+	if srcs[0].Cfg.Name != "broken" {
+		t.Errorf("unnamed config should take its file name, got %q", srcs[0].Cfg.Name)
+	}
+}
+
+// TestRunMatrixLintGate is the contract of the static layer: a matrix with
+// lint errors refuses to run before the first cycle, unless NoLint is set.
+func TestRunMatrixLintGate(t *testing.T) {
+	cfg := nodespec.Config{
+		Name:    "gated",
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 2, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		// Both regions route to target 0: CRVE005, target 1 unreachable.
+		Map: stbus.AddrMap{
+			{Base: 0x1000, Size: 0x1000, Target: 0},
+			{Base: 0x2000, Size: 0x1000, Target: 0},
+		},
+	}.WithDefaults()
+	tc, err := testcases.ByName("basic_write_read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Tests: []core.Test{tc}, Seeds: []int64{1}}
+	if _, err := RunMatrix([]nodespec.Config{cfg}, opt); err == nil {
+		t.Fatal("matrix with lint errors must refuse to run")
+	} else if !strings.Contains(err.Error(), string(lint.CodeTargetUnmapped)) {
+		t.Errorf("refusal should cite the diagnostic code:\n%v", err)
+	}
+	opt.NoLint = true
+	if _, err := RunMatrix([]nodespec.Config{cfg}, opt); err != nil {
+		t.Errorf("NoLint override failed: %v", err)
+	}
+}
+
+// TestShippedConfigsLintCleanAndRoundTrip is the shipped-corpus contract:
+// every configs/cfg*.cfg parses, passes the linter without any diagnostic,
+// and survives a writer -> parser round trip unchanged.
+func TestShippedConfigsLintCleanAndRoundTrip(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	srcs, err := LoadSourceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) < 32 {
+		t.Fatalf("only %d shipped configs, want >= 32", len(srcs))
+	}
+	rep := lint.CheckSet(srcs, []int64{1, 2})
+	if len(rep.Diags) != 0 {
+		var sb strings.Builder
+		rep.Text(&sb)
+		t.Fatalf("shipped configs are not lint-clean:\n%s", sb.String())
+	}
+	for _, src := range srcs {
+		src := src
+		t.Run(filepath.Base(src.File), func(t *testing.T) {
+			back, err := ParseConfig(strings.NewReader(FormatConfig(src.Cfg)))
+			if err != nil {
+				t.Fatalf("round trip does not parse: %v", err)
+			}
+			if back.String() != src.Cfg.String() {
+				t.Errorf("round trip changed config:\n%v\n%v", src.Cfg, back)
+			}
+			if len(back.Map) != len(src.Cfg.Map) {
+				t.Errorf("round trip changed map: %v -> %v", src.Cfg.Map, back.Map)
+			}
+		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"crve/internal/catg"
 	"crve/internal/core"
 	"crve/internal/coverage"
+	"crve/internal/lint"
 	"crve/internal/nodespec"
 	"crve/internal/stbus"
 )
@@ -25,6 +26,10 @@ type Options struct {
 	Bugs bca.Bugs
 	// Log receives progress lines when non-nil (batch-mode output).
 	Log io.Writer
+	// NoLint skips the static-analysis gate in RunMatrix. By default a
+	// matrix with lint errors refuses to run: a mis-specified node config
+	// should fail in milliseconds, not mid-run after expensive cycles.
+	NoLint bool
 }
 
 // TestRun is one (test, seed) execution on both views.
@@ -137,8 +142,35 @@ func passStr(ok bool) string {
 	return "FAIL"
 }
 
-// RunMatrix executes the suite over every configuration.
+// LintConfigs runs the static-analysis layer over a configuration set and
+// the run's seed list, positioning diagnostics at the configuration names
+// (file-based positions come from LoadSourceDir + lint.CheckSet directly).
+func LintConfigs(cfgs []nodespec.Config, seeds []int64) *lint.Report {
+	srcs := make([]lint.Source, len(cfgs))
+	for i, cfg := range cfgs {
+		srcs[i] = lint.MemSource(cfg)
+	}
+	return lint.CheckSet(srcs, seeds)
+}
+
+// RunMatrix executes the suite over every configuration. Unless opt.NoLint
+// is set, the matrix is linted first and refuses to run on any Error-grade
+// diagnostic — the whole point of the static layer is to catch a bad config
+// before the first simulation cycle.
 func RunMatrix(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, error) {
+	if !opt.NoLint {
+		rep := LintConfigs(cfgs, opt.Seeds)
+		if rep.HasErrors() {
+			var sb strings.Builder
+			rep.Text(&sb)
+			return nil, fmt.Errorf("regress: matrix failed lint (set NoLint to override):\n%s", sb.String())
+		}
+		if opt.Log != nil {
+			for _, d := range rep.Diags {
+				fmt.Fprintf(opt.Log, "lint: %s\n", d)
+			}
+		}
+	}
 	var out []*ConfigResult
 	for _, cfg := range cfgs {
 		if opt.Log != nil {
