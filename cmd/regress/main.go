@@ -11,7 +11,13 @@
 //	regress -config ./configs          # run every .cfg file in a directory
 //	regress -config ./configs -tests basic_write_read,error_paths -seeds 1,2,3
 //	regress -matrix -quick -out ./out  # fast slice, write reports and VCDs
+//	regress -matrix -j 8 -cache ./rc   # 8 workers, incremental result cache
 //	regress -emit ./configs            # materialise the matrix as .cfg files
+//
+// The report output is byte-identical at any -j width: work units fan out
+// across the pool but merge deterministically. With -cache, a re-run serves
+// unchanged (config, test, seed) units from disk and re-simulates only what
+// changed; the trailing "work units" line reports the ran/cached split.
 package main
 
 import (
@@ -29,51 +35,68 @@ import (
 	"crve/internal/testcases"
 )
 
+// options collects the parsed command line.
+type options struct {
+	configDir string
+	matrix    bool
+	quick     bool
+	testsArg  string
+	seedsArg  string
+	outDir    string
+	emitDir   string
+	verbose   bool
+	nolint    bool
+	jobs      int
+	cacheDir  string
+}
+
 func main() {
-	var (
-		configDir = flag.String("config", "", "directory of .cfg parameter files")
-		matrix    = flag.Bool("matrix", false, "use the standard >=36-configuration matrix")
-		quick     = flag.Bool("quick", false, "with -matrix: run only the first 6 configurations")
-		testsArg  = flag.String("tests", "", "comma-separated test names (default: all 12)")
-		seedsArg  = flag.String("seeds", "1", "comma-separated seeds")
-		outDir    = flag.String("out", "", "directory for reports and VCD dumps")
-		emitDir   = flag.String("emit", "", "write the standard matrix as .cfg files and exit")
-		verbose   = flag.Bool("v", false, "log each run")
-		nolint    = flag.Bool("nolint", false, "skip the static-analysis gate and run even with lint errors")
-	)
+	var o options
+	flag.StringVar(&o.configDir, "config", "", "directory of .cfg parameter files")
+	flag.BoolVar(&o.matrix, "matrix", false, "use the standard >=36-configuration matrix")
+	flag.BoolVar(&o.quick, "quick", false, "with -matrix: run only the first 6 configurations")
+	flag.StringVar(&o.testsArg, "tests", "", "comma-separated test names (default: all 12)")
+	flag.StringVar(&o.seedsArg, "seeds", "1", "comma-separated seeds")
+	flag.StringVar(&o.outDir, "out", "", "directory for reports and VCD dumps")
+	flag.StringVar(&o.emitDir, "emit", "", "write the standard matrix as .cfg files and exit")
+	flag.BoolVar(&o.verbose, "v", false, "log each run")
+	flag.BoolVar(&o.nolint, "nolint", false, "skip the static-analysis gate and run even with lint errors")
+	flag.IntVar(&o.jobs, "j", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.StringVar(&o.cacheDir, "cache", "", "incremental result cache directory (re-runs only what changed)")
 	flag.Parse()
-	if err := run(*configDir, *matrix, *quick, *testsArg, *seedsArg, *outDir, *emitDir, *verbose, *nolint); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitDir string, verbose, nolint bool) error {
-	if emitDir != "" {
-		if err := os.MkdirAll(emitDir, 0o755); err != nil {
+func run(o options) error {
+	if o.emitDir != "" {
+		if err := os.MkdirAll(o.emitDir, 0o755); err != nil {
 			return err
 		}
-		for _, cfg := range regress.StandardMatrix() {
-			path := filepath.Join(emitDir, cfg.Name+".cfg")
+		cfgs := regress.StandardMatrix()
+		for _, cfg := range cfgs {
+			path := filepath.Join(o.emitDir, cfg.Name+".cfg")
 			if err := os.WriteFile(path, []byte(regress.FormatConfig(cfg)), 0o644); err != nil {
 				return err
 			}
 		}
-		fmt.Printf("wrote %d configuration files to %s\n", len(regress.StandardMatrix()), emitDir)
+		fmt.Printf("wrote %d configuration files to %s\n", len(cfgs), o.emitDir)
 		return nil
 	}
 
 	var cfgs []nodespec.Config
 	switch {
-	case configDir != "":
+	case o.configDir != "":
 		var err error
-		cfgs, err = regress.LoadConfigDir(configDir)
+		cfgs, err = regress.LoadConfigDir(o.configDir)
 		if err != nil {
 			return err
 		}
-	case matrix:
+	case o.matrix:
 		cfgs = regress.StandardMatrix()
-		if quick {
+		if o.quick {
 			cfgs = cfgs[:6]
 		}
 	default:
@@ -81,10 +104,10 @@ func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitD
 	}
 
 	var tests []core.Test
-	if testsArg == "" {
+	if o.testsArg == "" {
 		tests = testcases.All()
 	} else {
-		for _, name := range strings.Split(testsArg, ",") {
+		for _, name := range strings.Split(o.testsArg, ",") {
 			tc, err := testcases.ByName(strings.TrimSpace(name))
 			if err != nil {
 				return err
@@ -93,7 +116,7 @@ func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitD
 		}
 	}
 	var seeds []int64
-	for _, s := range strings.Split(seedsArg, ",") {
+	for _, s := range strings.Split(o.seedsArg, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad seed %q", s)
@@ -104,8 +127,8 @@ func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitD
 	// Static-analysis gate: lint the whole set (with file:line positions
 	// when the configs came from a directory) before any cycle runs.
 	var rep *lint.Report
-	if configDir != "" {
-		srcs, err := regress.LoadSourceDir(configDir)
+	if o.configDir != "" {
+		srcs, err := regress.LoadSourceDir(o.configDir)
 		if err != nil {
 			return err
 		}
@@ -117,17 +140,24 @@ func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitD
 		fmt.Fprintln(os.Stderr, "lint:", d)
 	}
 	if rep.HasErrors() {
-		if !nolint {
+		if !o.nolint {
 			return fmt.Errorf("%s (run crvelint for details, or pass -nolint to override)", rep.Summary())
 		}
 		fmt.Fprintf(os.Stderr, "lint: %s — continuing because -nolint is set\n", rep.Summary())
 	}
 
-	opt := regress.Options{Tests: tests, Seeds: seeds, NoLint: true} // linted above
-	if verbose {
+	opt := regress.Options{Tests: tests, Seeds: seeds, NoLint: true, Workers: o.jobs} // linted above
+	if o.verbose {
 		opt.Log = os.Stdout
 	}
-	results, err := regress.RunMatrix(cfgs, opt)
+	if o.cacheDir != "" {
+		cache, err := regress.OpenCache(o.cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = cache
+	}
+	results, stats, err := regress.Run(cfgs, opt)
 	if err != nil {
 		return err
 	}
@@ -139,12 +169,13 @@ func run(configDir string, matrix, quick bool, testsArg, seedsArg, outDir, emitD
 		}
 	}
 	fmt.Printf("signed off: %d/%d configurations\n", signed, len(results))
+	fmt.Printf("work units: %s\n", stats)
 
-	if outDir != "" {
-		if err := regress.WriteReports(outDir, results); err != nil {
+	if o.outDir != "" {
+		if err := regress.WriteReports(o.outDir, results); err != nil {
 			return err
 		}
-		fmt.Printf("reports written to %s\n", outDir)
+		fmt.Printf("reports written to %s\n", o.outDir)
 	}
 	if signed != len(results) {
 		return fmt.Errorf("%d configuration(s) failed sign-off", len(results)-signed)

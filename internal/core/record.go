@@ -1,0 +1,77 @@
+package core
+
+import (
+	"crve/internal/catg"
+	"crve/internal/coverage"
+	"crve/internal/nodespec"
+	"crve/internal/stba"
+)
+
+// RunRecord is the serializable form of a RunResult: everything the
+// regression aggregates and reports need, minus the waveform dump (VCDs are
+// regeneration artifacts, not results — caching them would dwarf the results
+// they support) and minus the configuration (the cache key already pins it,
+// so the loader re-attaches the one it looked up with).
+type RunRecord struct {
+	Test         string            `json:"test"`
+	Seed         int64             `json:"seed"`
+	View         View              `json:"view"`
+	Cycles       uint64            `json:"cycles"`
+	Drained      bool              `json:"drained"`
+	Transactions int               `json:"transactions"`
+	Latencies    []uint64          `json:"latencies,omitempty"`
+	Violations   []catg.Violation  `json:"violations,omitempty"`
+	ScoreErrors  []string          `json:"score_errors,omitempty"`
+	Coverage     *coverage.Group   `json:"coverage"`
+	CodeCov      *coverage.CodeMap `json:"code_cov,omitempty"`
+}
+
+// Record snapshots the run for persistence.
+func (r *RunResult) Record() *RunRecord {
+	return &RunRecord{
+		Test: r.Test, Seed: r.Seed, View: r.View,
+		Cycles: r.Cycles, Drained: r.Drained, Transactions: r.Transactions,
+		Latencies: r.Latencies, Violations: r.Violations, ScoreErrors: r.ScoreErrors,
+		Coverage: r.Coverage, CodeCov: r.CodeCov,
+	}
+}
+
+// Result rebuilds the RunResult for configuration cfg. The VCD field stays
+// nil: report writers skip waveform artifacts for cache-served runs.
+func (rec *RunRecord) Result(cfg nodespec.Config) *RunResult {
+	return &RunResult{
+		Test: rec.Test, Seed: rec.Seed, View: rec.View, DUTIn: cfg,
+		Cycles: rec.Cycles, Drained: rec.Drained, Transactions: rec.Transactions,
+		Latencies: rec.Latencies, Violations: rec.Violations, ScoreErrors: rec.ScoreErrors,
+		Coverage: rec.Coverage, CodeCov: rec.CodeCov,
+	}
+}
+
+// PairRecord is the serializable form of a PairResult — the unit the
+// incremental regression cache stores per (config, test, seed, bugs, code
+// version) key.
+type PairRecord struct {
+	RTL           *RunRecord   `json:"rtl"`
+	BCA           *RunRecord   `json:"bca"`
+	Alignment     *stba.Report `json:"alignment"`
+	CoverageEqual bool         `json:"coverage_equal"`
+	CoverageDiff  string       `json:"coverage_diff,omitempty"`
+}
+
+// Record snapshots the pair for persistence.
+func (p *PairResult) Record() *PairRecord {
+	return &PairRecord{
+		RTL: p.RTL.Record(), BCA: p.BCA.Record(),
+		Alignment:     p.Alignment,
+		CoverageEqual: p.CoverageEqual, CoverageDiff: p.CoverageDiff,
+	}
+}
+
+// Result rebuilds the PairResult for configuration cfg.
+func (rec *PairRecord) Result(cfg nodespec.Config) *PairResult {
+	return &PairResult{
+		RTL: rec.RTL.Result(cfg), BCA: rec.BCA.Result(cfg),
+		Alignment:     rec.Alignment,
+		CoverageEqual: rec.CoverageEqual, CoverageDiff: rec.CoverageDiff,
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"crve/internal/arb"
+	"crve/internal/bca"
+	"crve/internal/catg"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// TestPairRecordRoundTrip runs one real pair, snapshots it through JSON and
+// checks the restored result is indistinguishable in every report the
+// regression layer derives from it — the contract the incremental cache
+// depends on.
+func TestPairRecordRoundTrip(t *testing.T) {
+	cfg := nodespec.Config{
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 2, NumTgt: 1,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		Map: stbus.UniformMap(1, 0x1000, 0x1000),
+	}.WithDefaults()
+	test := Test{
+		Name:    "record_round_trip",
+		Traffic: catg.TrafficConfig{Ops: 6, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}},
+	}
+	pair, err := RunPair(cfg, test, 7, bca.Bugs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(pair.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &PairRecord{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		t.Fatal(err)
+	}
+	back := rec.Result(cfg)
+
+	if back.RTL.Summary() != pair.RTL.Summary() || back.BCA.Summary() != pair.BCA.Summary() {
+		t.Errorf("summaries changed:\n%s\n%s\nvs\n%s\n%s",
+			pair.RTL.Summary(), pair.BCA.Summary(), back.RTL.Summary(), back.BCA.Summary())
+	}
+	if back.SignedOff() != pair.SignedOff() {
+		t.Errorf("sign-off changed: %v vs %v", pair.SignedOff(), back.SignedOff())
+	}
+	if back.Alignment.MinRate() != pair.Alignment.MinRate() {
+		t.Errorf("alignment %.4f vs %.4f", pair.Alignment.MinRate(), back.Alignment.MinRate())
+	}
+	if back.Alignment.String() != pair.Alignment.String() {
+		t.Error("alignment table changed across round trip")
+	}
+	if eq, diff := back.RTL.Coverage.EqualHits(pair.RTL.Coverage); !eq {
+		t.Errorf("RTL coverage changed: %s", diff)
+	}
+	if back.RTL.CodeCov == nil || back.RTL.CodeCov.Report() != pair.RTL.CodeCov.Report() {
+		t.Error("RTL code coverage changed across round trip")
+	}
+	// The paper's asymmetry must survive: the BCA view has no code coverage.
+	if back.BCA.CodeCov != nil {
+		t.Error("BCA code coverage must stay nil")
+	}
+	if back.RTL.VCD != nil || back.BCA.VCD != nil {
+		t.Error("records must not carry waveforms")
+	}
+	if back.RTL.DUTIn.Name != cfg.Name {
+		t.Errorf("restored DUTIn %q", back.RTL.DUTIn.Name)
+	}
+	if len(back.RTL.Latencies) != len(pair.RTL.Latencies) {
+		t.Errorf("latencies %d vs %d", len(pair.RTL.Latencies), len(back.RTL.Latencies))
+	}
+}
+
+// TestRunRecordKeepsFailures checks failed runs round-trip as failed —
+// a cache that launders failures into passes would be worse than no cache.
+func TestRunRecordKeepsFailures(t *testing.T) {
+	res := &RunResult{
+		Test: "t", Seed: 1, View: BCAView,
+		Drained:     true,
+		Violations:  []catg.Violation{{Cycle: 9, Port: "init0", Rule: "stability", Detail: "payload changed"}},
+		ScoreErrors: []string{"lost transaction"},
+	}
+	data, err := json.Marshal(res.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &RunRecord{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		t.Fatal(err)
+	}
+	back := rec.Result(nodespec.Config{}.WithDefaults())
+	if back.Passed() {
+		t.Error("failed run restored as passed")
+	}
+	if len(back.Violations) != 1 || back.Violations[0].String() != res.Violations[0].String() {
+		t.Errorf("violations %v", back.Violations)
+	}
+}

@@ -1,0 +1,102 @@
+package coverage
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file gives both coverage structures a stable JSON form so the
+// regression result cache (internal/regress) can persist per-run coverage
+// and rebuild it bit-for-bit: declaration order, bin hit counts and
+// justifications all round-trip, which is what keeps a cache-served run
+// indistinguishable from a fresh simulation in every report.
+
+type binJSON struct {
+	Name string `json:"name"`
+	Hits uint64 `json:"hits"`
+}
+
+type itemJSON struct {
+	Name string    `json:"name"`
+	Bins []binJSON `json:"bins"`
+}
+
+type groupJSON struct {
+	Name  string     `json:"name"`
+	Items []itemJSON `json:"items"`
+}
+
+// MarshalJSON renders the group with items and bins in declaration order.
+func (g *Group) MarshalJSON() ([]byte, error) {
+	gj := groupJSON{Name: g.Name, Items: make([]itemJSON, 0, len(g.order))}
+	for _, it := range g.Items() {
+		ij := itemJSON{Name: it.Name, Bins: make([]binJSON, 0, len(it.order))}
+		for _, bn := range it.order {
+			ij.Bins = append(ij.Bins, binJSON{Name: bn, Hits: it.bins[bn].Hits})
+		}
+		gj.Items = append(gj.Items, ij)
+	}
+	return json.Marshal(gj)
+}
+
+// UnmarshalJSON rebuilds a group, preserving declaration order and hits.
+func (g *Group) UnmarshalJSON(data []byte) error {
+	var gj groupJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return err
+	}
+	*g = *NewGroup(gj.Name)
+	for _, ij := range gj.Items {
+		bins := make([]string, len(ij.Bins))
+		for i, b := range ij.Bins {
+			bins[i] = b.Name
+		}
+		it := g.Item(ij.Name, bins...)
+		for _, b := range ij.Bins {
+			it.bins[b.Name].Hits = b.Hits
+		}
+	}
+	return nil
+}
+
+type pointJSON struct {
+	Name      string    `json:"name"`
+	Kind      PointKind `json:"kind"`
+	Hits      uint64    `json:"hits"`
+	MissHits  uint64    `json:"miss_hits,omitempty"`
+	Justified bool      `json:"justified,omitempty"`
+}
+
+// MarshalJSON renders the instrumentation map in declaration order.
+func (m *CodeMap) MarshalJSON() ([]byte, error) {
+	pts := make([]pointJSON, 0, len(m.order))
+	for _, name := range m.order {
+		p := m.points[name]
+		pts = append(pts, pointJSON{
+			Name: name, Kind: p.kind,
+			Hits: p.hits, MissHits: p.missHits, Justified: p.justified,
+		})
+	}
+	return json.Marshal(pts)
+}
+
+// UnmarshalJSON rebuilds the map, preserving declaration order, counts and
+// justifications.
+func (m *CodeMap) UnmarshalJSON(data []byte) error {
+	var pts []pointJSON
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return err
+	}
+	*m = *NewCodeMap()
+	for _, pj := range pts {
+		switch pj.Kind {
+		case LinePoint, StmtPoint, BranchPoint:
+		default:
+			return fmt.Errorf("coverage: unknown point kind %d for %q", int(pj.Kind), pj.Name)
+		}
+		m.Declare(pj.Kind, pj.Name)
+		p := m.points[pj.Name]
+		p.hits, p.missHits, p.justified = pj.Hits, pj.MissHits, pj.Justified
+	}
+	return nil
+}

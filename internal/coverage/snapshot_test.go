@@ -1,0 +1,83 @@
+package coverage
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGroupJSONRoundTrip(t *testing.T) {
+	g := NewGroup("node")
+	kind := g.Item("kind", "load", "store", "rmw")
+	size := g.Item("size", "1", "4")
+	g.Cross("kind×size", kind, size)
+	kind.Hit("load")
+	kind.Hit("load")
+	kind.Hit("store")
+	size.Hit("4")
+	g.HitCross("kind×size", "load", "4")
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &Group{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if eq, diff := g.EqualHits(back); !eq {
+		t.Fatalf("round trip changed hits: %s", diff)
+	}
+	if back.SortedBinDump() != g.SortedBinDump() {
+		t.Errorf("bin dump changed:\n%s\nvs\n%s", g.SortedBinDump(), back.SortedBinDump())
+	}
+	// Declaration order (reports) must survive, not just the set of bins.
+	if back.Report() != g.Report() {
+		t.Errorf("report changed:\n%s\nvs\n%s", g.Report(), back.Report())
+	}
+	// The restored group must accept merges from the original's items.
+	if err := back.Merge(g); err != nil {
+		t.Errorf("merge into restored group: %v", err)
+	}
+}
+
+func TestCodeMapJSONRoundTrip(t *testing.T) {
+	m := NewCodeMap()
+	m.Line("arb.go:10")
+	m.Line("arb.go:11")
+	m.Stmt("arb.go:11#s0")
+	m.Branch("arb.go:12?", true)
+	m.Branch("arb.go:13?", true)
+	m.Branch("arb.go:13?", false)
+	m.Declare(LinePoint, "dead.go:1")
+	if err := m.Justify("dead.go:1"); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewCodeMap()
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Report() != m.Report() {
+		t.Errorf("report changed:\n%s\nvs\n%s", m.Report(), back.Report())
+	}
+	for _, k := range []PointKind{LinePoint, StmtPoint, BranchPoint} {
+		if back.Percent(k) != m.Percent(k) {
+			t.Errorf("%v percent %.1f vs %.1f", k, m.Percent(k), back.Percent(k))
+		}
+	}
+	// A half-taken branch must still be a hole after the round trip.
+	if holes := back.Holes(BranchPoint); len(holes) != 1 || holes[0] != "arb.go:12?" {
+		t.Errorf("branch holes %v", holes)
+	}
+}
+
+func TestCodeMapJSONRejectsUnknownKind(t *testing.T) {
+	back := NewCodeMap()
+	if err := json.Unmarshal([]byte(`[{"name":"x","kind":9}]`), back); err == nil {
+		t.Error("unknown point kind must fail to unmarshal")
+	}
+}

@@ -30,6 +30,15 @@ type Options struct {
 	// matrix with lint errors refuses to run: a mis-specified node config
 	// should fail in milliseconds, not mid-run after expensive cycles.
 	NoLint bool
+	// Workers bounds the engine's worker pool — how many (config, test,
+	// seed) units simulate concurrently. 0 means runtime.GOMAXPROCS(0);
+	// 1 executes strictly serially. The merged output is byte-identical
+	// at any width.
+	Workers int
+	// Cache, when non-nil, makes the run incremental: units whose inputs
+	// hash to an existing entry are served from disk instead of
+	// re-simulated, and fresh results are stored back.
+	Cache *Cache
 }
 
 // TestRun is one (test, seed) execution on both views.
@@ -58,9 +67,16 @@ type ConfigResult struct {
 	RTLFailures, BCAFailures int
 }
 
-// SignedOff applies the paper's criteria to the whole configuration: all
-// checks pass on both views, coverage equal, every port ≥ 99 % aligned.
+// SignedOff applies the paper's criteria to the whole configuration: at
+// least one run executed, all checks pass on both views, coverage equal,
+// every port ≥ 99 % aligned. The zero-run guard matters: an empty Runs
+// slice leaves every aggregate at its vacuous optimum (no failures, equal
+// coverage, 100 % alignment), and sign-off on evidence of nothing is
+// exactly the hole a verification flow exists to close.
 func (cr *ConfigResult) SignedOff() bool {
+	if len(cr.Runs) == 0 {
+		return false
+	}
 	if cr.RTLFailures > 0 || cr.BCAFailures > 0 || !cr.CoverageAllEqual {
 		return false
 	}
@@ -86,53 +102,55 @@ func SuiteTraffic(cfg nodespec.Config) catg.TrafficConfig {
 	return tc
 }
 
-// RunConfig executes the full suite against one configuration, on both
-// views, with every seed, and aggregates the reports.
-func RunConfig(cfg nodespec.Config, opt Options) (*ConfigResult, error) {
-	cfg = cfg.WithDefaults()
-	if len(opt.Seeds) == 0 {
-		opt.Seeds = []int64{1}
-	}
-	cr := &ConfigResult{
+// newConfigResult builds the empty aggregate for one configuration: the
+// suite-level coverage model, an empty code map, and the vacuous optima the
+// per-run merges tighten.
+func newConfigResult(cfg nodespec.Config) *ConfigResult {
+	return &ConfigResult{
 		Cfg:              cfg,
 		SuiteCoverage:    catg.NewCoverageModel(cfg, SuiteTraffic(cfg)).Group,
 		CodeCov:          coverage.NewCodeMap(),
 		CoverageAllEqual: true,
 		MinAlignment:     100,
 	}
-	for _, test := range opt.Tests {
-		for _, seed := range opt.Seeds {
-			pair, err := core.RunPair(cfg, test, seed, opt.Bugs)
-			if err != nil {
-				return nil, fmt.Errorf("regress: %s/%s seed %d: %w", cfg.Name, test.Name, seed, err)
-			}
-			cr.Runs = append(cr.Runs, TestRun{Test: test.Name, Seed: seed, Pair: pair})
-			if !pair.RTL.Passed() {
-				cr.RTLFailures++
-			}
-			if !pair.BCA.Passed() {
-				cr.BCAFailures++
-			}
-			if !pair.CoverageEqual {
-				cr.CoverageAllEqual = false
-			}
-			if r := pair.Alignment.MinRate(); r < cr.MinAlignment {
-				cr.MinAlignment = r
-			}
-			if err := cr.SuiteCoverage.Merge(pair.RTL.Coverage); err != nil {
-				return nil, fmt.Errorf("regress: coverage merge: %w", err)
-			}
-			if pair.RTL.CodeCov != nil {
-				cr.CodeCov.Merge(pair.RTL.CodeCov)
-			}
-			if opt.Log != nil {
-				fmt.Fprintf(opt.Log, "  %s seed=%d  align=%.2f%% covEq=%v rtl=%s bca=%s\n",
-					test.Name, seed, pair.Alignment.MinRate(), pair.CoverageEqual,
-					passStr(pair.RTL.Passed()), passStr(pair.BCA.Passed()))
-			}
-		}
+}
+
+// add folds one run into the configuration aggregate. It mutates shared
+// coverage structures, so the engine calls it only from the single merge
+// goroutine, in canonical run order.
+func (cr *ConfigResult) add(test string, seed int64, pair *core.PairResult) error {
+	cr.Runs = append(cr.Runs, TestRun{Test: test, Seed: seed, Pair: pair})
+	if !pair.RTL.Passed() {
+		cr.RTLFailures++
 	}
-	return cr, nil
+	if !pair.BCA.Passed() {
+		cr.BCAFailures++
+	}
+	if !pair.CoverageEqual {
+		cr.CoverageAllEqual = false
+	}
+	if r := pair.Alignment.MinRate(); r < cr.MinAlignment {
+		cr.MinAlignment = r
+	}
+	if err := cr.SuiteCoverage.Merge(pair.RTL.Coverage); err != nil {
+		return fmt.Errorf("regress: coverage merge: %w", err)
+	}
+	if pair.RTL.CodeCov != nil {
+		cr.CodeCov.Merge(pair.RTL.CodeCov)
+	}
+	return nil
+}
+
+// RunConfig executes the full suite against one configuration, on both
+// views, with every seed, and aggregates the reports. An empty test suite
+// is an error: a configuration that runs nothing must not produce a result
+// that could sign off. Parallelism and caching follow opt.Workers/opt.Cache.
+func RunConfig(cfg nodespec.Config, opt Options) (*ConfigResult, error) {
+	results, _, err := runEngine([]nodespec.Config{cfg}, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 func passStr(ok bool) string {
@@ -153,17 +171,23 @@ func LintConfigs(cfgs []nodespec.Config, seeds []int64) *lint.Report {
 	return lint.CheckSet(srcs, seeds)
 }
 
-// RunMatrix executes the suite over every configuration. Unless opt.NoLint
-// is set, the matrix is linted first and refuses to run on any Error-grade
-// diagnostic — the whole point of the static layer is to catch a bad config
-// before the first simulation cycle.
-func RunMatrix(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, error) {
+// Run executes the suite over every configuration on the parallel,
+// incremental engine and returns the per-configuration aggregates plus the
+// ran/cached statistics. Seeds default once, up front, so the lint gate and
+// the engine always see the same seed list — they can never disagree about
+// which runs execute. Unless opt.NoLint is set, the matrix is linted first
+// and refuses to run on any Error-grade diagnostic — the whole point of the
+// static layer is to catch a bad config before the first simulation cycle.
+func Run(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, Stats, error) {
+	if len(opt.Seeds) == 0 {
+		opt.Seeds = []int64{1}
+	}
 	if !opt.NoLint {
 		rep := LintConfigs(cfgs, opt.Seeds)
 		if rep.HasErrors() {
 			var sb strings.Builder
 			rep.Text(&sb)
-			return nil, fmt.Errorf("regress: matrix failed lint (set NoLint to override):\n%s", sb.String())
+			return nil, Stats{}, fmt.Errorf("regress: matrix failed lint (set NoLint to override):\n%s", sb.String())
 		}
 		if opt.Log != nil {
 			for _, d := range rep.Diags {
@@ -171,18 +195,14 @@ func RunMatrix(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, error) {
 			}
 		}
 	}
-	var out []*ConfigResult
-	for _, cfg := range cfgs {
-		if opt.Log != nil {
-			fmt.Fprintf(opt.Log, "%s (%v)\n", cfg.Name, cfg)
-		}
-		cr, err := RunConfig(cfg, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, cr)
-	}
-	return out, nil
+	return runEngine(cfgs, opt, true)
+}
+
+// RunMatrix is Run without the statistics, kept for callers that only need
+// the results.
+func RunMatrix(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, error) {
+	results, _, err := Run(cfgs, opt)
+	return results, err
 }
 
 // MatrixReport renders the configuration-level summary table (the paper's
