@@ -1,0 +1,220 @@
+// Command closure runs the coverage-closure engine standalone: it executes
+// the generic suite on each configuration, then loops — read the merged
+// functional-coverage holes, synthesize follow-up work units biased toward
+// them, run the units through the regression engine and its result cache —
+// until coverage is full or the iteration/cycle budget runs out.
+//
+// Usage:
+//
+//	closure -config configs/closure/regbank.cfg       # close one configuration
+//	closure -config ./configs -j 8 -cache ./rc        # a directory, parallel + incremental
+//	closure -config FILE -plan                        # report holes and the planned units, run nothing
+//	closure -config FILE -json > trajectory.json      # machine-readable trajectory
+//
+// The trajectory is deterministic for a fixed seed at any -j width, and a
+// warm re-run against the same cache re-simulates nothing. The command exits
+// non-zero if any configuration's closure fails to converge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"crve/internal/closure"
+	"crve/internal/core"
+	"crve/internal/lint"
+	"crve/internal/nodespec"
+	"crve/internal/regress"
+	"crve/internal/testcases"
+)
+
+type options struct {
+	configPath string
+	testsArg   string
+	seedsArg   string
+	jobs       int
+	cacheDir   string
+	maxIters   int
+	budget     uint64
+	jsonOut    bool
+	plan       bool
+	verbose    bool
+	nolint     bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.configPath, "config", "", "a .cfg parameter file or a directory of them")
+	flag.StringVar(&o.testsArg, "tests", "", "comma-separated base-suite test names (default: all 12)")
+	flag.StringVar(&o.seedsArg, "seeds", "1", "comma-separated base-suite seeds (the first also salts closure seeds)")
+	flag.IntVar(&o.jobs, "j", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.StringVar(&o.cacheDir, "cache", "", "incremental result cache directory")
+	flag.IntVar(&o.maxIters, "max-iters", 8, "maximum closure iterations per configuration")
+	flag.Uint64Var(&o.budget, "budget", 0, "closure cycle budget per configuration, both views (0 = unlimited)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the closure trajectories as JSON instead of text")
+	flag.BoolVar(&o.plan, "plan", false, "report holes and the planned follow-up units after the base suite, without running them")
+	flag.BoolVar(&o.verbose, "v", false, "log each run")
+	flag.BoolVar(&o.nolint, "nolint", false, "skip the static-analysis gate")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "closure:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfigs accepts either one .cfg file or a directory of them.
+func loadConfigs(path string) ([]nodespec.Config, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		return regress.LoadConfigDir(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg, err := regress.ParseConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return []nodespec.Config{cfg}, nil
+}
+
+func run(o options) error {
+	if o.configPath == "" {
+		return fmt.Errorf("pass -config FILE|DIR (see -h)")
+	}
+	cfgs, err := loadConfigs(o.configPath)
+	if err != nil {
+		return err
+	}
+
+	var tests []core.Test
+	if o.testsArg == "" {
+		tests = testcases.All()
+	} else {
+		for _, name := range strings.Split(o.testsArg, ",") {
+			tc, err := testcases.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			tests = append(tests, tc)
+		}
+	}
+	var seeds []int64
+	for _, s := range strings.Split(o.seedsArg, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", s)
+		}
+		seeds = append(seeds, v)
+	}
+
+	if !o.nolint {
+		rep := regress.LintConfigs(cfgs, seeds)
+		for _, d := range rep.Diags {
+			fmt.Fprintln(os.Stderr, "lint:", d)
+		}
+		if rep.HasErrors() {
+			return fmt.Errorf("%s (pass -nolint to override)", rep.Summary())
+		}
+		// CRVE017 warnings matter here specifically: a statically dead bin
+		// caps what closure can reach.
+		for _, d := range rep.ByCode(lint.CodeDeadBin) {
+			fmt.Fprintln(os.Stderr, "note: closure will skip this bin:", d.Msg)
+		}
+	}
+
+	opt := closure.Options{
+		Tests: tests, Seeds: seeds, Workers: o.jobs,
+		MaxIters: o.maxIters, Budget: o.budget, NoLint: true, // linted above
+	}
+	if o.verbose {
+		opt.Log = os.Stdout
+	}
+	if o.cacheDir != "" {
+		cache, err := regress.OpenCache(o.cacheDir)
+		if err != nil {
+			return err
+		}
+		opt.Cache = cache
+	}
+
+	if o.plan {
+		return planOnly(cfgs, opt)
+	}
+
+	var stats regress.Stats
+	notConverged := 0
+	var trajJSON []string
+	for _, cfg := range cfgs {
+		res, err := closure.Close(cfg, opt)
+		if err != nil {
+			return err
+		}
+		if o.jsonOut {
+			var sb strings.Builder
+			if err := closure.JSON(&sb, res.Trajectory); err != nil {
+				return err
+			}
+			trajJSON = append(trajJSON, strings.TrimRight(sb.String(), "\n"))
+		} else {
+			closure.Text(os.Stdout, res.Trajectory)
+		}
+		s := res.Stats()
+		stats.Ran += s.Ran
+		stats.Cached += s.Cached
+		if !res.Trajectory.Converged {
+			notConverged++
+		}
+	}
+	if o.jsonOut {
+		fmt.Printf("[%s]\n", strings.Join(trajJSON, ",\n"))
+	} else {
+		fmt.Printf("work units: %s\n", stats)
+	}
+	if notConverged > 0 {
+		return fmt.Errorf("closure did not converge on %d configuration(s)", notConverged)
+	}
+	return nil
+}
+
+// planOnly runs the base suite and reports the holes plus the first
+// iteration's synthesized units, without simulating any of them — the dry
+// "what would closure do" report.
+func planOnly(cfgs []nodespec.Config, opt closure.Options) error {
+	for _, cfg := range cfgs {
+		cfg = cfg.WithDefaults()
+		base, err := regress.RunConfig(cfg, regress.Options{
+			Tests: opt.Tests, Seeds: opt.Seeds, Workers: opt.Workers,
+			Cache: opt.Cache, Log: opt.Log,
+		})
+		if err != nil {
+			return err
+		}
+		holes := base.SuiteCoverage.Holes()
+		fmt.Printf("%s: %.1f%% functional coverage, %d hole(s)\n",
+			cfg.Name, base.SuiteCoverage.Percent(), len(holes))
+		if len(holes) == 0 {
+			continue
+		}
+		for _, h := range holes {
+			fmt.Printf("  hole %s\n", h)
+		}
+		for _, u := range closure.Plan(cfg, holes, 1) {
+			var hs []string
+			for _, h := range u.Holes {
+				hs = append(hs, h.String())
+			}
+			fmt.Printf("  plan %s -> [%s]\n", u.Test.Name, strings.Join(hs, " "))
+		}
+	}
+	return nil
+}

@@ -13,11 +13,21 @@
 //	regress -matrix -quick -out ./out  # fast slice, write reports and VCDs
 //	regress -matrix -j 8 -cache ./rc   # 8 workers, incremental result cache
 //	regress -emit ./configs            # materialise the matrix as .cfg files
+//	regress -config ./configs -close   # close coverage holes with synthesized tests
 //
 // The report output is byte-identical at any -j width: work units fan out
 // across the pool but merge deterministically. With -cache, a re-run serves
 // unchanged (config, test, seed) units from disk and re-simulates only what
 // changed; the trailing "work units" line reports the ran/cached split.
+//
+// With -close, any configuration the suite leaves below 100 % functional
+// coverage enters the coverage-closure loop: the engine maps each hole back
+// to the traffic dimensions that can reach it, synthesizes biased follow-up
+// work units and re-runs them through the same pool and cache until coverage
+// is full or the -max-iters/-budget limits run out. The per-iteration
+// closure report prints per configuration (and lands in OUT/<config>/
+// closure.json with -out); a configuration whose closure does not converge
+// fails the run.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 
+	"crve/internal/closure"
 	"crve/internal/core"
 	"crve/internal/lint"
 	"crve/internal/nodespec"
@@ -48,6 +59,9 @@ type options struct {
 	nolint    bool
 	jobs      int
 	cacheDir  string
+	close     bool
+	maxIters  int
+	budget    uint64
 }
 
 func main() {
@@ -63,6 +77,9 @@ func main() {
 	flag.BoolVar(&o.nolint, "nolint", false, "skip the static-analysis gate and run even with lint errors")
 	flag.IntVar(&o.jobs, "j", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.StringVar(&o.cacheDir, "cache", "", "incremental result cache directory (re-runs only what changed)")
+	flag.BoolVar(&o.close, "close", false, "run the coverage-closure loop on configurations the suite leaves below 100% functional coverage")
+	flag.IntVar(&o.maxIters, "max-iters", 8, "with -close: maximum closure iterations per configuration")
+	flag.Uint64Var(&o.budget, "budget", 0, "with -close: closure cycle budget per configuration, both views (0 = unlimited)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
@@ -171,6 +188,55 @@ func run(o options) error {
 	fmt.Printf("signed off: %d/%d configurations\n", signed, len(results))
 	fmt.Printf("work units: %s\n", stats)
 
+	var notConverged int
+	if o.close {
+		var cstats regress.Stats
+		closed := 0
+		for _, cr := range results {
+			if cr.SuiteCoverage.Full() {
+				continue
+			}
+			copt := closure.Options{
+				Seeds: seeds, Workers: o.jobs, Cache: opt.Cache,
+				MaxIters: o.maxIters, Budget: o.budget,
+			}
+			if o.verbose {
+				copt.Log = os.Stdout
+			}
+			res, err := closure.CloseGroup(cr.Cfg, cr.SuiteCoverage, copt)
+			if err != nil {
+				return err
+			}
+			closure.Text(os.Stdout, res.Trajectory)
+			cstats.Ran += res.ClosureStats.Ran
+			cstats.Cached += res.ClosureStats.Cached
+			if res.Trajectory.Converged {
+				closed++
+			} else {
+				notConverged++
+			}
+			if o.outDir != "" {
+				dir := filepath.Join(o.outDir, cr.Cfg.Name)
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return err
+				}
+				f, err := os.Create(filepath.Join(dir, "closure.json"))
+				if err != nil {
+					return err
+				}
+				if err := closure.JSON(f, res.Trajectory); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("closure: %d configuration(s) closed, %d not converged, units %s\n",
+			closed, notConverged, cstats)
+	}
+
 	if o.outDir != "" {
 		if err := regress.WriteReports(o.outDir, results); err != nil {
 			return err
@@ -179,6 +245,9 @@ func run(o options) error {
 	}
 	if signed != len(results) {
 		return fmt.Errorf("%d configuration(s) failed sign-off", len(results)-signed)
+	}
+	if notConverged > 0 {
+		return fmt.Errorf("coverage closure did not converge on %d configuration(s)", notConverged)
 	}
 	return nil
 }

@@ -45,6 +45,34 @@ func (c Config) WithDefaults() Config { return c }
 func (c Config) Validate() error      { return nil }
 `
 
+const stubSim = `package sim
+type Bits struct{ w uint64 }
+func (b Bits) Uint64() uint64 { return b.w }
+type Signal struct{ cur Bits }
+func (s *Signal) Get() Bits       { return s.cur }
+func (s *Signal) U64() uint64     { return s.cur.Uint64() }
+func (s *Signal) Bool() bool      { return false }
+func (s *Signal) Set(v Bits)      {}
+func (s *Signal) SetU64(v uint64) {}
+func (s *Signal) SetBool(v bool)  {}
+type Simulator struct{}
+func New() *Simulator                                                     { return &Simulator{} }
+func (sm *Simulator) Signal(name string, width int) *Signal               { return &Signal{} }
+func (sm *Simulator) Bool(name string) *Signal                            { return &Signal{} }
+func (sm *Simulator) Seq(name string, fn func())                          {}
+func (sm *Simulator) Comb(name string, fn func(), sensitivity ...*Signal) {}
+func (sm *Simulator) AtCycleEnd(fn func())                                {}
+func (sm *Simulator) Run(n int) error                                     { return nil }
+func (sm *Simulator) RunUntil(done func() bool, limit int) error          { return nil }
+func (sm *Simulator) Step() error                                         { return nil }
+type Scope struct{ sm *Simulator }
+func (sm *Simulator) Root() Scope                                     { return Scope{sm} }
+func (sc Scope) Signal(name string, width int) *Signal                { return &Signal{} }
+func (sc Scope) Bool(name string) *Signal                             { return &Signal{} }
+func (sc Scope) Seq(name string, fn func())                           {}
+func (sc Scope) Comb(name string, fn func(), sensitivity ...*Signal)  {}
+`
+
 // mapImporter resolves imports from packages already typechecked in the
 // test.
 type mapImporter map[string]*types.Package
@@ -81,6 +109,7 @@ func stubs(t *testing.T) mapImporter {
 	for _, p := range []struct{ path, src string }{
 		{"crve/internal/stbus", stubStbus},
 		{"crve/internal/nodespec", stubNodespec},
+		{"crve/internal/sim", stubSim},
 	} {
 		f, err := parser.ParseFile(fset, p.path+"/stub.go", p.src, parser.SkipObjectResolution)
 		if err != nil {
@@ -178,6 +207,85 @@ func deliberatelyBad() {
 	}
 }
 
+func TestSignalReadFlagsElaborationReads(t *testing.T) {
+	src := `package client
+import "crve/internal/sim"
+func elaborate(sm *sim.Simulator) {
+	d := sm.Signal("d", 8)
+	q := sm.Signal("q", 8)
+	if d.Bool() { // line 6: read before the simulator has run
+		return
+	}
+	sm.Seq("reg", func() { q.Set(d.Get()) }) // callback read: fine
+	_ = q.U64() // line 10: elaboration read, value not settled
+}
+`
+	got := runOn(t, SignalRead, "client.go", src)
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %d: %v", len(got), got)
+	}
+	for i, line := range []string{"6: ", "10: "} {
+		if !strings.HasPrefix(got[i], line) {
+			t.Errorf("finding %d on wrong line: %v", i, got[i])
+		}
+	}
+	if !strings.Contains(got[0], "Bool") || !strings.Contains(got[1], "U64") {
+		t.Errorf("messages should name the read method: %v", got)
+	}
+}
+
+func TestSignalReadFlagsScopeRegistration(t *testing.T) {
+	src := `package client
+import "crve/internal/sim"
+func build(sc sim.Scope) {
+	req := sc.Bool("req") // constructor, not a read
+	gnt := sc.Bool("gnt")
+	sc.Comb("grant", func() { gnt.SetBool(req.Bool()) }, req)
+	if gnt.Bool() { // line 7: elaboration read under a Scope registration
+		panic("unsettled")
+	}
+}
+`
+	got := runOn(t, SignalRead, "client.go", src)
+	if len(got) != 1 || !strings.HasPrefix(got[0], "7: ") {
+		t.Fatalf("want exactly one finding on line 7, got %v", got)
+	}
+}
+
+func TestSignalReadAllowsReadsAfterRun(t *testing.T) {
+	src := `package client
+import "crve/internal/sim"
+func simulate() uint64 {
+	sm := sim.New()
+	d := sm.Signal("d", 8)
+	q := sm.Signal("q", 8)
+	sm.Seq("reg", func() { q.Set(d.Get()) })
+	if err := sm.Run(10); err != nil {
+		return 0
+	}
+	return q.U64() // settled: the simulator has run
+}
+`
+	if got := runOn(t, SignalRead, "client.go", src); len(got) != 0 {
+		t.Fatalf("reads after Run must not be flagged, got %v", got)
+	}
+}
+
+func TestSignalReadIgnoresHelpersWithoutRegistration(t *testing.T) {
+	src := `package client
+import "crve/internal/sim"
+func fire(req, gnt *sim.Signal) bool { return req.Bool() && gnt.Bool() }
+func watch(sm *sim.Simulator, q *sim.Signal) {
+	sm.AtCycleEnd(func() {
+		_ = q.U64() // inside the callback: fine
+	})
+}
+`
+	if got := runOn(t, SignalRead, "client.go", src); len(got) != 0 {
+		t.Fatalf("helpers that register nothing must not be flagged, got %v", got)
+	}
+}
+
 func TestAnalyzersAreRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range Analyzers() {
@@ -189,7 +297,7 @@ func TestAnalyzersAreRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	if !names["configliteral"] || !names["portwidth"] {
+	if !names["configliteral"] || !names["portwidth"] || !names["signalread"] {
 		t.Errorf("expected analyzers missing: %v", names)
 	}
 }

@@ -6,18 +6,20 @@ import (
 	"go/constant"
 	"go/printer"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
 const (
 	nodespecPath = "crve/internal/nodespec"
 	stbusPath    = "crve/internal/stbus"
+	simPath      = "crve/internal/sim"
 )
 
 // Analyzers returns every repo-invariant analyzer, in stable order. This is
 // the set cmd/crvevet serves to `go vet -vettool`.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ConfigLiteral, PortWidth}
+	return []*Analyzer{ConfigLiteral, PortWidth, SignalRead}
 }
 
 // ConfigLiteral flags a nodespec.Config composite literal passed directly
@@ -153,6 +155,104 @@ func dataBitsOf(pass *Pass, lit *ast.CompositeLit) (width *int64, found bool) {
 		}
 	}
 	return nil, false
+}
+
+// SignalRead flags sim.Signal value reads (Get / U64 / Bool) performed at
+// elaboration time: directly in the body of a function that registers
+// simulation processes (Seq / Comb / AtCycleEnd), before the simulator has
+// run. A signal has no settled value until Run/Step executes the processes,
+// so an elaboration-time read always sees the zero value — the read belongs
+// inside the process callback. Reads that occur lexically after a
+// Run/RunUntil/Step call in the same function are result inspection and are
+// fine; so are reads in helper functions that register nothing (they execute
+// inside somebody else's callback).
+var SignalRead = &Analyzer{
+	Name: "signalread",
+	Doc: "flag sim.Signal reads outside a process callback: a function that registers " +
+		"Seq/Comb/AtCycleEnd processes must not read signal values before the simulator " +
+		"runs — the value is not settled until the callbacks execute",
+	Run: runSignalRead,
+}
+
+func runSignalRead(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkElaborationScope(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkElaborationScope(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkElaborationScope examines one function body at nesting depth zero:
+// nested function literals are process callbacks (or at least deferred
+// execution) and are skipped here — each gets its own scope check from the
+// outer walk.
+func checkElaborationScope(pass *Pass, body *ast.BlockStmt) {
+	type read struct {
+		pos    token.Pos
+		method string
+	}
+	var reads []read
+	registers := token.NoPos // first Seq/Comb/AtCycleEnd registration
+	firstRun := token.NoPos  // first Run/RunUntil/Step, if any
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := pass.TypesInfo.Types[sel.X].Type
+		if recv == nil {
+			return true
+		}
+		if p, ok := types.Unalias(recv).(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		switch sel.Sel.Name {
+		case "Seq", "Comb", "AtCycleEnd":
+			if isNamed(recv, simPath, "Scope") || isNamed(recv, simPath, "Simulator") {
+				if !registers.IsValid() {
+					registers = call.Pos()
+				}
+			}
+		case "Run", "RunUntil", "Step":
+			if isNamed(recv, simPath, "Simulator") && !firstRun.IsValid() {
+				firstRun = call.Pos()
+			}
+		case "Get", "U64", "Bool":
+			// Scope.Bool / Simulator.Bool construct a signal; only the
+			// Signal receiver is a value read.
+			if isNamed(recv, simPath, "Signal") {
+				reads = append(reads, read{call.Pos(), sel.Sel.Name})
+			}
+		}
+		return true
+	})
+	if !registers.IsValid() {
+		return
+	}
+	for _, r := range reads {
+		if firstRun.IsValid() && r.pos > firstRun {
+			continue // inspecting results after the simulator ran
+		}
+		pass.Reportf(r.pos,
+			"sim.Signal.%s read at elaboration time: this function registers processes, and the signal has no settled value until the simulator runs — move the read into the process callback",
+			r.method)
+	}
 }
 
 // exprString renders a call target for a diagnostic message.

@@ -1,0 +1,68 @@
+package catg
+
+import (
+	"crve/internal/coverage"
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+// UnionTraffic returns the traffic configuration whose coverage model is a
+// superset of every generic test's for the given node: the full operation
+// mix, every size, and a non-zero share of each optional stimulus class
+// (unmapped, chunked, idle, programming when the node has a programming
+// port). The regression suite aggregates per-test coverage into the model
+// this union declares, and the closure engine plans against its holes.
+func UnionTraffic(node nodespec.Config) TrafficConfig {
+	tc := TrafficConfig{
+		Ops:         1,
+		Kinds:       []stbus.OpKind{stbus.KindLoad, stbus.KindStore, stbus.KindRMW, stbus.KindSwap},
+		Sizes:       []int{1, 2, 4, 8, 16, 32, 64},
+		UnmappedPct: 1,
+		ChunkPct:    1,
+		IdlePct:     1,
+		PriMax:      15,
+	}
+	if node.ProgPort {
+		tc.ProgPct = 1
+	}
+	return tc
+}
+
+// UnreachableBins returns the bins the coverage model for (node, tc) declares
+// but which no stimulus can ever hit — holes that are properties of the
+// configuration, not of the tests run so far. The model derives its bins
+// from the configuration precisely so that every declared bin is reachable;
+// the cases below are the residue where a bin's precondition spans more than
+// one parameter and only their combination is dead:
+//
+//   - completion_order/reordered is declared whenever the node is Type3 with
+//     more than one target and a pipe deeper than one, but observing a
+//     reordered completion requires some initiator that can reach at least
+//     two targets; a partial crossbar whose rows each allow a single target
+//     declares the bin and can never sample it.
+//
+// Lint surfaces these as CRVE017 and the closure planner skips them: no
+// amount of added tests closes a statically dead bin.
+func UnreachableBins(node nodespec.Config, tc TrafficConfig) []coverage.Hole {
+	node = node.WithDefaults()
+	var dead []coverage.Hole
+	hasOOO := node.Port.Type == stbus.Type3 && node.NumTgt > 1 && node.PipeSize > 1
+	if hasOOO {
+		fanout := 0
+		for i := 0; i < node.NumInit; i++ {
+			n := 0
+			for t := 0; t < node.NumTgt; t++ {
+				if node.Connected(i, t) {
+					n++
+				}
+			}
+			if n > fanout {
+				fanout = n
+			}
+		}
+		if fanout < 2 {
+			dead = append(dead, coverage.Hole{Item: "completion_order", Bin: "reordered"})
+		}
+	}
+	return dead
+}

@@ -1,0 +1,84 @@
+package catg
+
+import (
+	"testing"
+
+	"crve/internal/nodespec"
+	"crve/internal/stbus"
+)
+
+func unionNode(arch nodespec.Arch, allowed [][]bool) nodespec.Config {
+	return nodespec.Config{
+		Name:    "u",
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32, AddrBits: 32},
+		NumInit: 2, NumTgt: 2,
+		Arch:    arch,
+		Allowed: allowed,
+		Map: stbus.AddrMap{
+			{Base: 0x0000, Size: 0x1000, Target: 0},
+			{Base: 0x1000, Size: 0x1000, Target: 1},
+		},
+		PipeSize: 4,
+	}.WithDefaults()
+}
+
+func TestUnionTrafficCoversSuiteModels(t *testing.T) {
+	node := unionNode(nodespec.FullCrossbar, nil)
+	tc := UnionTraffic(node)
+	if tc.ProgPct != 0 {
+		t.Error("ProgPct set without a programming port")
+	}
+	node.ProgPort, node.ProgBase = true, 0x8000
+	if UnionTraffic(node).ProgPct == 0 {
+		t.Error("ProgPct unset despite a programming port")
+	}
+	// The union model must declare a superset of any per-test model: merging
+	// a narrow test's group into the union group must succeed.
+	union := NewCoverageModel(node, UnionTraffic(node)).Group
+	narrow := NewCoverageModel(node, TrafficConfig{
+		Kinds: []stbus.OpKind{stbus.KindRMW},
+		Sizes: []int{1},
+	}).Group
+	if err := union.Merge(narrow); err != nil {
+		t.Fatalf("union model does not cover a narrow test model: %v", err)
+	}
+}
+
+func TestUnreachableBinsDiagonalCrossbar(t *testing.T) {
+	// Each initiator reaches exactly one target: completion_order is declared
+	// (t3, 2 targets, pipe 4) but "reordered" can never be observed.
+	diag := unionNode(nodespec.PartialCrossbar, [][]bool{{true, false}, {false, true}})
+	dead := UnreachableBins(diag, UnionTraffic(diag))
+	if len(dead) != 1 || dead[0].Item != "completion_order" || dead[0].Bin != "reordered" {
+		t.Fatalf("dead bins = %v, want [completion_order/reordered]", dead)
+	}
+	// The declared model really contains the dead bin — the diagnostic points
+	// at something that exists.
+	g := NewCoverageModel(diag, UnionTraffic(diag)).Group
+	found := false
+	for _, h := range g.Holes() {
+		if h == dead[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dead bin not among the declared model's holes")
+	}
+
+	// One row with fanout two: reordering is observable, nothing is dead.
+	fan := unionNode(nodespec.PartialCrossbar, [][]bool{{true, true}, {false, true}})
+	if dead := UnreachableBins(fan, UnionTraffic(fan)); len(dead) != 0 {
+		t.Errorf("dead bins = %v on a config with fanout 2", dead)
+	}
+	// Full crossbar, shared bus: never dead.
+	full := unionNode(nodespec.FullCrossbar, nil)
+	if dead := UnreachableBins(full, UnionTraffic(full)); len(dead) != 0 {
+		t.Errorf("dead bins = %v on a full crossbar", dead)
+	}
+	// Type2 declares no completion_order item at all.
+	t2 := unionNode(nodespec.PartialCrossbar, [][]bool{{true, false}, {false, true}})
+	t2.Port.Type = stbus.Type2
+	if dead := UnreachableBins(t2, UnionTraffic(t2)); len(dead) != 0 {
+		t.Errorf("dead bins = %v on a t2 node", dead)
+	}
+}

@@ -1,0 +1,253 @@
+package closure
+
+// This file is the closure loop itself: plan against the holes of the merged
+// suite coverage, run the synthesized units on the regression engine, merge
+// their coverage back in canonical order, repeat until full or out of
+// budget. The loop's entire observable output is the core.ClosureTrajectory
+// record; report.go renders it.
+
+import (
+	"fmt"
+	"io"
+
+	"crve/internal/bca"
+	"crve/internal/catg"
+	"crve/internal/core"
+	"crve/internal/coverage"
+	"crve/internal/nodespec"
+	"crve/internal/regress"
+)
+
+// Options tunes a closure run.
+type Options struct {
+	// Tests is the base suite Close runs before closing (unused by
+	// CloseGroup, whose caller already ran a suite).
+	Tests []core.Test
+	// Seeds seeds the base suite; Seeds[0] (default 1) also salts the
+	// per-iteration closure seeds, so a different base seed explores a
+	// different closure trajectory.
+	Seeds []int64
+	// Bugs seeds the BCA view, exactly as in a plain regression run.
+	Bugs bca.Bugs
+	// Workers bounds the engine's worker pool (0 = GOMAXPROCS). The
+	// trajectory is byte-identical at any width.
+	Workers int
+	// Cache, when non-nil, serves unchanged units from disk. Cycle
+	// accounting counts cached units at their recorded cost, so a warm
+	// trajectory is identical to the cold one that produced it.
+	Cache *regress.Cache
+	// MaxIters bounds the loop (default 8).
+	MaxIters int
+	// Budget bounds the total simulated cycles spent on closure units
+	// across both views; 0 means unlimited. The check runs between
+	// iterations, so the final iteration may overshoot.
+	Budget uint64
+	// StallIters stops the loop after this many consecutive iterations
+	// that closed no new bin (default 3): more of the same stimulus is not
+	// going to help.
+	StallIters int
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+	// NoLint skips the static-analysis gate of the base suite run.
+	NoLint bool
+}
+
+// Result is the outcome of a closure run.
+type Result struct {
+	// Trajectory is the complete serializable record of the loop.
+	Trajectory *core.ClosureTrajectory
+	// Coverage is the final merged suite coverage (the same group the
+	// caller handed CloseGroup, after mutation).
+	Coverage *coverage.Group
+	// Base is the base-suite aggregate (nil when the caller ran the suite
+	// itself and used CloseGroup).
+	Base *regress.ConfigResult
+	// BaseStats / ClosureStats split the ran/cached unit counts between
+	// the base suite and the synthesized closure units.
+	BaseStats, ClosureStats regress.Stats
+}
+
+// Stats sums the base-suite and closure-unit statistics.
+func (r *Result) Stats() regress.Stats {
+	return regress.Stats{
+		Ran:    r.BaseStats.Ran + r.ClosureStats.Ran,
+		Cached: r.BaseStats.Cached + r.ClosureStats.Cached,
+	}
+}
+
+// closureSeed derives the deterministic seed of one closure iteration from
+// the base seed. The offset keeps closure seeds disjoint from any plausible
+// hand-picked suite seed, so a synthesized unit never aliases a suite run.
+func closureSeed(base int64, iter int) int64 {
+	return base*1_000_000 + int64(iter)
+}
+
+// Close runs the base suite on cfg and then closes its coverage holes.
+func Close(cfg nodespec.Config, opt Options) (*Result, error) {
+	base, stats, err := regress.Run([]nodespec.Config{cfg}, regress.Options{
+		Tests: opt.Tests, Seeds: opt.Seeds, Bugs: opt.Bugs,
+		Log: opt.Log, NoLint: opt.NoLint, Workers: opt.Workers, Cache: opt.Cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := CloseGroup(cfg, base[0].SuiteCoverage, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Base = base[0]
+	res.BaseStats = stats
+	return res, nil
+}
+
+// CloseGroup runs only the closure loop against an already-populated suite
+// coverage group — typically the aggregate of a prior matrix run — mutating
+// it as holes close. A group with no holes returns immediately with zero
+// iterations, zero synthesized units and an untouched cache: closure on full
+// coverage is a no-op.
+func CloseGroup(cfg nodespec.Config, cov *coverage.Group, opt Options) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	maxIters := opt.MaxIters
+	if maxIters <= 0 {
+		maxIters = 8
+	}
+	stallAfter := opt.StallIters
+	if stallAfter <= 0 {
+		stallAfter = 3
+	}
+	baseSeed := int64(1)
+	if len(opt.Seeds) > 0 {
+		baseSeed = opt.Seeds[0]
+	}
+
+	// Statically unreachable bins (lint CRVE017) are never planned for: no
+	// stimulus closes them, and chasing them would only burn the budget.
+	dead := map[coverage.Hole]bool{}
+	traj := &core.ClosureTrajectory{Config: cfg.Name, Group: cov.Name}
+	for _, d := range catg.UnreachableBins(cfg, catg.UnionTraffic(cfg)) {
+		dead[d] = true
+		traj.DeadBins = append(traj.DeadBins, d.String())
+	}
+
+	_, traj.TotalBins = cov.Covered()
+	traj.StartPercent = cov.Percent()
+	traj.HolesStart = len(cov.Holes())
+
+	stall := 0
+	for iter := 1; ; iter++ {
+		all := cov.Holes()
+		var live []coverage.Hole
+		for _, h := range all {
+			if !dead[h] {
+				live = append(live, h)
+			}
+		}
+		if len(all) == 0 {
+			traj.Reason = core.ClosureFull
+			traj.Converged = true
+			break
+		}
+		if len(live) == 0 {
+			traj.Reason = core.ClosureDeadBins
+			traj.Converged = true
+			break
+		}
+		if iter > maxIters {
+			traj.Reason = core.ClosureMaxIters
+			break
+		}
+		if opt.Budget > 0 && traj.TotalCycles >= opt.Budget {
+			traj.Reason = core.ClosureBudget
+			break
+		}
+		if stall >= stallAfter {
+			traj.Reason = core.ClosureStalled
+			break
+		}
+
+		units := Plan(cfg, live, iter)
+		if len(units) == 0 {
+			traj.Reason = core.ClosureStalled
+			break
+		}
+		seed := closureSeed(baseSeed, iter)
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "closure %s iter %d: %d hole(s), %d unit(s), seed %d\n",
+				cfg.Name, iter, len(live), len(units), seed)
+		}
+		tests := make([]core.Test, len(units))
+		for i, u := range units {
+			tests[i] = u.Test
+		}
+		// Synthesized units bypass the lint gate: the configuration already
+		// passed it (or was explicitly -nolint'ed) before the base suite ran.
+		cres, err := regress.RunConfig(cfg, regress.Options{
+			Tests: tests, Seeds: []int64{seed}, Bugs: opt.Bugs,
+			Log: opt.Log, Workers: opt.Workers, Cache: opt.Cache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("closure: %s iter %d: %w", cfg.Name, iter, err)
+		}
+
+		// Merge in canonical order (cres.Runs follows the tests order) and
+		// attribute each newly-hit bin to the first unit whose merge closed
+		// it — deterministic at any worker count.
+		itRec := core.ClosureIteration{Iter: iter, HolesBefore: len(all)}
+		for i, run := range cres.Runs {
+			before := len(cov.Holes())
+			if err := cov.Merge(run.Pair.RTL.Coverage); err != nil {
+				return nil, fmt.Errorf("closure: %s iter %d: %w", cfg.Name, iter, err)
+			}
+			cycles := run.Pair.RTL.Cycles + run.Pair.BCA.Cycles
+			passed := run.Pair.SignedOff()
+			if !passed {
+				traj.Failures++
+			}
+			if run.Cached {
+				itRec.CacheHits++
+				traj.UnitsCached++
+			} else {
+				traj.UnitsRun++
+			}
+			itRec.Cycles += cycles
+			itRec.Units = append(itRec.Units, core.ClosureUnit{
+				Test:    run.Test,
+				Seed:    seed,
+				Holes:   holeStrings(units[i].Holes),
+				NewBins: before - len(cov.Holes()),
+				Cycles:  cycles,
+				Cached:  run.Cached,
+				Passed:  passed,
+			})
+		}
+		itRec.HolesAfter = len(cov.Holes())
+		itRec.NewBins = itRec.HolesBefore - itRec.HolesAfter
+		traj.TotalCycles += itRec.Cycles
+		traj.Iterations = append(traj.Iterations, itRec)
+		if itRec.NewBins == 0 {
+			stall++
+		} else {
+			stall = 0
+		}
+	}
+
+	traj.HolesEnd = len(cov.Holes())
+	traj.FinalPercent = cov.Percent()
+	if opt.Log != nil {
+		fmt.Fprintf(opt.Log, "closure %s: %s\n", cfg.Name, Summary(traj))
+	}
+	res := &Result{Trajectory: traj, Coverage: cov}
+	for _, it := range traj.Iterations {
+		res.ClosureStats.Ran += len(it.Units) - it.CacheHits
+		res.ClosureStats.Cached += it.CacheHits
+	}
+	return res, nil
+}
+
+func holeStrings(hs []coverage.Hole) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.String()
+	}
+	return out
+}

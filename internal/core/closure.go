@@ -1,0 +1,98 @@
+package core
+
+// This file defines the serializable records of a coverage-closure run — the
+// machine-checkable form of the paper's "coverage not full → add tests" arc.
+// The closure engine (internal/closure) fills them in; they live here, next
+// to RunRecord/PairRecord, because they are results of the common flow, not
+// planner internals: reports, CI greps and trend tooling consume them as
+// JSON without importing the engine.
+
+// ClosureUnit records one synthesized follow-up work unit of a closure
+// iteration: which holes it was aimed at and what it bought.
+type ClosureUnit struct {
+	// Test is the synthesized test name; it encodes the targeted hole class
+	// and a content hash of the biased traffic, so the incremental cache can
+	// never confuse two different syntheses under one name.
+	Test string `json:"test"`
+	Seed int64  `json:"seed"`
+	// Holes lists the "item/bin" holes the planner aimed this unit at.
+	Holes []string `json:"holes"`
+	// NewBins counts the bins this unit was the first to hit, attributed in
+	// canonical merge order (so the split is deterministic at any worker
+	// count).
+	NewBins int `json:"new_bins"`
+	// Cycles is the simulated cost of the unit on both views (RTL + BCA).
+	Cycles uint64 `json:"cycles"`
+	// Cached reports whether the unit was served from the result cache
+	// rather than simulated.
+	Cached bool `json:"cached"`
+	// Passed reports whether every check of the pair run passed.
+	Passed bool `json:"passed"`
+}
+
+// ClosureIteration records one trip around the closure loop.
+type ClosureIteration struct {
+	Iter int `json:"iter"`
+	// HolesBefore/HolesAfter count unhit bins entering and leaving the
+	// iteration; NewBins is their difference, attributed per unit.
+	HolesBefore int `json:"holes_before"`
+	HolesAfter  int `json:"holes_after"`
+	NewBins     int `json:"new_bins"`
+	// Cycles sums the simulated cost of the iteration's units (both views,
+	// cached or not — the trajectory must not depend on cache state).
+	Cycles uint64 `json:"cycles"`
+	// CacheHits counts units served from the incremental cache.
+	CacheHits int           `json:"cache_hits"`
+	Units     []ClosureUnit `json:"units"`
+}
+
+// Closure stop reasons.
+const (
+	// ClosureFull — every declared bin is hit: the paper's sign-off arc is
+	// complete.
+	ClosureFull = "full"
+	// ClosureMaxIters — the iteration budget ran out with holes remaining.
+	ClosureMaxIters = "max-iters"
+	// ClosureBudget — the cycle budget ran out with holes remaining.
+	ClosureBudget = "budget"
+	// ClosureStalled — consecutive iterations closed no new bin; more of the
+	// same stimulus is not going to help.
+	ClosureStalled = "stalled"
+	// ClosureDeadBins — only statically unreachable bins remain (see lint
+	// CRVE017); no stimulus can close them.
+	ClosureDeadBins = "dead-bins"
+)
+
+// ClosureTrajectory is the complete, serializable record of one closure run
+// on one configuration.
+type ClosureTrajectory struct {
+	Config string `json:"config"`
+	Group  string `json:"group"`
+	// TotalBins is the number of declared bins; HolesStart the unhit count
+	// after the base suite ran.
+	TotalBins  int `json:"total_bins"`
+	HolesStart int `json:"holes_start"`
+	HolesEnd   int `json:"holes_end"`
+	// DeadBins lists statically unreachable holes (never planned for).
+	DeadBins []string `json:"dead_bins,omitempty"`
+	// StartPercent/FinalPercent bracket the functional-coverage trajectory.
+	StartPercent float64            `json:"start_percent"`
+	FinalPercent float64            `json:"final_percent"`
+	Iterations   []ClosureIteration `json:"iterations"`
+	// Reason is why the loop stopped: one of the Closure* constants.
+	Reason string `json:"reason"`
+	// Converged reports whether every closable hole was closed (Reason is
+	// ClosureFull, or ClosureDeadBins with nothing else remaining).
+	Converged bool `json:"converged"`
+	// TotalCycles sums iteration cycles (the base suite is not included: it
+	// would have run with or without closure).
+	TotalCycles uint64 `json:"total_cycles"`
+	// UnitsRun / UnitsCached split the synthesized units by how they were
+	// satisfied.
+	UnitsRun    int `json:"units_run"`
+	UnitsCached int `json:"units_cached"`
+	// Failures counts synthesized units whose pair run failed a check — a
+	// closure run is still a regression run, and a failing follow-up test is
+	// a finding, not a detail.
+	Failures int `json:"failures"`
+}

@@ -43,6 +43,55 @@ func TestItemHitOK(t *testing.T) {
 	}
 }
 
+// TestGroupHolesDeclarationOrder pins the Holes() contract: unhit bins come
+// back in declaration order — items as declared, bins as declared within each
+// item — never in map-range order, so hole lists (and everything downstream:
+// closure plans, reports, goldens) are deterministic.
+func TestGroupHolesDeclarationOrder(t *testing.T) {
+	build := func() *Group {
+		g := NewGroup("g")
+		// Deliberately non-alphabetical declaration order on both levels.
+		g.Item("zeta", "m", "a", "k")
+		g.Item("alpha", "z", "b")
+		g.Item("mid", "q")
+		return g
+	}
+	g := build()
+	g.MustItem("zeta").Hit("a")
+	g.MustItem("alpha").Hit("z")
+	want := []Hole{{"zeta", "m"}, {"zeta", "k"}, {"alpha", "b"}, {"mid", "q"}}
+	got := g.Holes()
+	if len(got) != len(want) {
+		t.Fatalf("holes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hole %d = %v, want %v (declaration order violated)", i, got[i], want[i])
+		}
+	}
+	// Identical groups must produce byte-identical hole lists, run after run.
+	h := build()
+	h.MustItem("zeta").Hit("a")
+	h.MustItem("alpha").Hit("z")
+	for i, hole := range h.Holes() {
+		if hole != got[i] {
+			t.Fatalf("hole order differs between identical groups at %d: %v vs %v", i, hole, got[i])
+		}
+	}
+	if s := (Hole{Item: "a", Bin: "b"}).String(); s != "a/b" {
+		t.Errorf("Hole.String = %q", s)
+	}
+	full := build()
+	for _, it := range full.Items() {
+		for _, hole := range it.Holes() {
+			it.Hit(hole)
+		}
+	}
+	if holes := full.Holes(); len(holes) != 0 {
+		t.Errorf("full group has holes: %v", holes)
+	}
+}
+
 func TestGroupPercentAndFull(t *testing.T) {
 	g := NewGroup("g")
 	a := g.Item("a", "x", "y")

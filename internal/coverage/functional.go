@@ -93,6 +93,17 @@ func (it *Item) Holes() []string {
 	return h
 }
 
+// Hole identifies one declared-but-unhit bin of a group: the input of the
+// paper's "coverage not full → add tests" arc, in structured form so closure
+// tooling consumes the coverage state directly instead of re-parsing report
+// text.
+type Hole struct {
+	Item string `json:"item"`
+	Bin  string `json:"bin"`
+}
+
+func (h Hole) String() string { return h.Item + "/" + h.Bin }
+
 // Group is a set of coverage items, the unit reported per DUT configuration.
 type Group struct {
 	Name  string
@@ -149,6 +160,25 @@ func (g *Group) Items() []*Item {
 		out = append(out, g.items[n])
 	}
 	return out
+}
+
+// Holes returns every unhit bin of the group in declaration order: items in
+// the order they were declared, bins in declaration order within each item.
+// The ordering is part of the contract — closure planning, reports and their
+// golden tests all depend on two identical groups producing byte-identical
+// hole lists — so the implementation walks the declaration-order slices, never
+// a Go map.
+func (g *Group) Holes() []Hole {
+	var holes []Hole
+	for _, name := range g.order {
+		it := g.items[name]
+		for _, bn := range it.order {
+			if it.bins[bn].Hits == 0 {
+				holes = append(holes, Hole{Item: name, Bin: bn})
+			}
+		}
+	}
+	return holes
 }
 
 // Covered returns hit and total bin counts over all items.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"crve/internal/arb"
+	"crve/internal/catg"
 	"crve/internal/nodespec"
 	"crve/internal/stbus"
 )
@@ -74,6 +75,7 @@ func Rules() []Rule {
 		{CodePortParam, Error, "illegal port/node parameter (type, width, endianness, counts, pipe)"},
 		{CodeDupName, Error, "duplicate configuration name in the lint set"},
 		{CodeDupSeed, Warning, "duplicate seed in the seed list"},
+		{CodeDeadBin, Warning, "coverage model declares a statically unreachable bin (full coverage impossible)"},
 	}
 }
 
@@ -94,6 +96,7 @@ func Check(src Source) *Report {
 	checkCrossbar(r, src, cfg, portsOK)
 	checkProg(r, src, cfg)
 	checkPipe(r, src, cfg)
+	checkDeadBins(r, src, cfg, portsOK)
 	return r
 }
 
@@ -330,6 +333,33 @@ func checkPipe(r *Report, src Source, cfg nodespec.Config) {
 	if cfg.PipeSize&(cfg.PipeSize-1) != 0 {
 		r.Addf(pos, CodePipeProtocol, Warning,
 			"pipe size %d is not a power of two and does not map onto the RTL pipe stages", cfg.PipeSize)
+	}
+}
+
+// checkDeadBins asks the coverage-model layer (catg.UnreachableBins) which
+// bins the suite-level model for this configuration declares but can never
+// hit. A dead bin means "full functional coverage" — the paper's sign-off
+// target — is statically impossible and the closure engine would burn its
+// whole budget on it, so it is worth a diagnostic before any cycle runs. The
+// check needs sane shape parameters: a broken allowed matrix or port counts
+// are already errors, and evaluating connectivity on them would only cascade.
+func checkDeadBins(r *Report, src Source, cfg nodespec.Config, portsOK bool) {
+	if !portsOK {
+		return
+	}
+	if cfg.Arch == nodespec.PartialCrossbar {
+		if len(cfg.Allowed) != cfg.NumInit {
+			return // CRVE008 already reported
+		}
+		for _, row := range cfg.Allowed {
+			if len(row) != cfg.NumTgt {
+				return
+			}
+		}
+	}
+	for _, dead := range catg.UnreachableBins(cfg, catg.UnionTraffic(cfg)) {
+		r.Addf(src.keyPos("allowed"), CodeDeadBin, Warning,
+			"coverage bin %s is statically unreachable for this configuration: full functional coverage is impossible", dead)
 	}
 }
 

@@ -89,6 +89,12 @@ const (
 	// CodeDupSeed — a seed appears twice in the seed list: the duplicate
 	// run adds cycles but no new coverage.
 	CodeDupSeed Code = "CRVE016"
+	// CodeDeadBin — the configuration's functional-coverage model declares a
+	// bin no stimulus can ever hit (e.g. completion_order/reordered on a
+	// partial crossbar whose rows each reach a single target): full
+	// functional coverage is statically impossible and coverage closure can
+	// never converge.
+	CodeDeadBin Code = "CRVE017"
 )
 
 // Severity classifies a diagnostic.

@@ -240,6 +240,31 @@ func TestDupSeed(t *testing.T) {
 	}
 }
 
+func TestDeadBin(t *testing.T) {
+	expect(t, CodeDeadBin, Warning, func(c *nodespec.Config) {
+		// Diagonal partial crossbar on a t3 node: completion_order/reordered
+		// is declared but no initiator can reach two targets.
+		c.Arch = nodespec.PartialCrossbar
+		c.Allowed = [][]bool{{true, false}, {false, true}}
+	})
+	// A single row with fanout >= 2 makes reordering observable again.
+	cfg := base()
+	cfg.Arch = nodespec.PartialCrossbar
+	cfg.Allowed = [][]bool{{true, true}, {false, true}}
+	if n := codes(Check(MemSource(cfg)))[CodeDeadBin]; n != 0 {
+		t.Errorf("CRVE017 reported on a config with fanout 2")
+	}
+	// A broken allowed shape must not cascade into (or panic) the dead-bin
+	// check: CRVE008 owns that failure.
+	bad := base()
+	bad.Arch = nodespec.PartialCrossbar
+	bad.Allowed = [][]bool{{true}}
+	r := Check(MemSource(bad))
+	if codes(r)[CodeDeadBin] != 0 || codes(r)[CodeAllowedShape] == 0 {
+		t.Errorf("shape error should suppress CRVE017: %v", r.Diags)
+	}
+}
+
 func TestParseDiagnosticsShortCircuitSemantics(t *testing.T) {
 	src := Source{
 		File: "broken.cfg",

@@ -11,7 +11,6 @@ import (
 	"crve/internal/coverage"
 	"crve/internal/lint"
 	"crve/internal/nodespec"
-	"crve/internal/stbus"
 )
 
 // Options tunes a regression run.
@@ -46,6 +45,9 @@ type TestRun struct {
 	Test string
 	Seed int64
 	Pair *core.PairResult
+	// Cached reports whether the result was served from the incremental
+	// cache rather than simulated (always false when the run had no cache).
+	Cached bool
 }
 
 // ConfigResult aggregates a full suite run on one node configuration.
@@ -85,21 +87,11 @@ func (cr *ConfigResult) SignedOff() bool {
 
 // SuiteTraffic returns the union traffic configuration whose coverage model
 // is a superset of every test's, so per-test groups merge into one
-// suite-level report.
+// suite-level report. It is catg.UnionTraffic, re-exported because the whole
+// regression layer (engine, cache, closure) keys its suite-level coverage
+// model off this one definition.
 func SuiteTraffic(cfg nodespec.Config) catg.TrafficConfig {
-	tc := catg.TrafficConfig{
-		Ops:         1,
-		Kinds:       []stbus.OpKind{stbus.KindLoad, stbus.KindStore, stbus.KindRMW, stbus.KindSwap},
-		Sizes:       []int{1, 2, 4, 8, 16, 32, 64},
-		UnmappedPct: 1,
-		ChunkPct:    1,
-		IdlePct:     1,
-		PriMax:      15,
-	}
-	if cfg.ProgPort {
-		tc.ProgPct = 1
-	}
-	return tc
+	return catg.UnionTraffic(cfg)
 }
 
 // newConfigResult builds the empty aggregate for one configuration: the
@@ -118,8 +110,8 @@ func newConfigResult(cfg nodespec.Config) *ConfigResult {
 // add folds one run into the configuration aggregate. It mutates shared
 // coverage structures, so the engine calls it only from the single merge
 // goroutine, in canonical run order.
-func (cr *ConfigResult) add(test string, seed int64, pair *core.PairResult) error {
-	cr.Runs = append(cr.Runs, TestRun{Test: test, Seed: seed, Pair: pair})
+func (cr *ConfigResult) add(test string, seed int64, pair *core.PairResult, cached bool) error {
+	cr.Runs = append(cr.Runs, TestRun{Test: test, Seed: seed, Pair: pair, Cached: cached})
 	if !pair.RTL.Passed() {
 		cr.RTLFailures++
 	}

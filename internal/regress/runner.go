@@ -150,7 +150,7 @@ func runEngine(cfgs []nodespec.Config, opt Options, logHeaders bool) ([]*ConfigR
 				fmt.Fprintf(opt.Log, "%s (%v)\n", u.cfg.Name, u.cfg)
 				lastCfg = u.cfgIdx
 			}
-			if err := results[u.cfgIdx].add(u.test.Name, u.seed, cur.pair); err != nil {
+			if err := results[u.cfgIdx].add(u.test.Name, u.seed, cur.pair, cur.cached); err != nil {
 				firstErr = err
 				abort()
 				continue
