@@ -367,12 +367,40 @@ func BenchmarkKernelStep(b *testing.B) {
 		regs = append(regs, q)
 	}
 	_ = regs
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := sm.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkKernelStepChain measures settle depth: a single depth-32
+// combinational chain, the worst case for the legacy delta loop (33 deltas
+// per cycle) and the best case for the levelized scheduler (one ranked
+// sweep). The deltas/cycle metric makes the difference visible next to
+// ns/op.
+func BenchmarkKernelStepChain(b *testing.B) {
+	const depth = 32
+	sm := sim.New()
+	sigs := make([]*sim.Signal, depth+1)
+	for i := range sigs {
+		sigs[i] = sm.Signal("s", 32)
+	}
+	for i := 0; i < depth; i++ {
+		i := i
+		sm.CombOut("link", func() { sigs[i+1].SetU64(sigs[i].U64() + 1) }, []*sim.Signal{sigs[i+1]}, sigs[i])
+	}
+	sm.Seq("drive", func() { sigs[0].SetU64(sigs[0].U64() + 1) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sm.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sm.DeltaCount)/float64(sm.Cycle()), "deltas/cycle")
 }
 
 // oldflowRun wraps the past flow for the E2 bench (true = bug missed).

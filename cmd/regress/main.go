@@ -14,6 +14,7 @@
 //	regress -matrix -j 8 -cache ./rc   # 8 workers, incremental result cache
 //	regress -emit ./configs            # materialise the matrix as .cfg files
 //	regress -config ./configs -close   # close coverage holes with synthesized tests
+//	regress -matrix -quick -kernelstats # also print the kernel profile per config/view
 //
 // The report output is byte-identical at any -j width: work units fan out
 // across the pool but merge deterministically. With -cache, a re-run serves
@@ -48,20 +49,21 @@ import (
 
 // options collects the parsed command line.
 type options struct {
-	configDir string
-	matrix    bool
-	quick     bool
-	testsArg  string
-	seedsArg  string
-	outDir    string
-	emitDir   string
-	verbose   bool
-	nolint    bool
-	jobs      int
-	cacheDir  string
-	close     bool
-	maxIters  int
-	budget    uint64
+	configDir   string
+	matrix      bool
+	quick       bool
+	testsArg    string
+	seedsArg    string
+	outDir      string
+	emitDir     string
+	verbose     bool
+	nolint      bool
+	jobs        int
+	cacheDir    string
+	close       bool
+	maxIters    int
+	budget      uint64
+	kernelstats bool
 }
 
 func main() {
@@ -80,6 +82,7 @@ func main() {
 	flag.BoolVar(&o.close, "close", false, "run the coverage-closure loop on configurations the suite leaves below 100% functional coverage")
 	flag.IntVar(&o.maxIters, "max-iters", 8, "with -close: maximum closure iterations per configuration")
 	flag.Uint64Var(&o.budget, "budget", 0, "with -close: closure cycle budget per configuration, both views (0 = unlimited)")
+	flag.BoolVar(&o.kernelstats, "kernelstats", false, "collect and print the simulation-kernel profile (deltas/cycle, settle depth, hottest processes)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
@@ -163,7 +166,7 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "lint: %s — continuing because -nolint is set\n", rep.Summary())
 	}
 
-	opt := regress.Options{Tests: tests, Seeds: seeds, NoLint: true, Workers: o.jobs} // linted above
+	opt := regress.Options{Tests: tests, Seeds: seeds, NoLint: true, Workers: o.jobs, KernelStats: o.kernelstats} // linted above
 	if o.verbose {
 		opt.Log = os.Stdout
 	}
@@ -187,6 +190,9 @@ func run(o options) error {
 	}
 	fmt.Printf("signed off: %d/%d configurations\n", signed, len(results))
 	fmt.Printf("work units: %s\n", stats)
+	if o.kernelstats {
+		fmt.Print(regress.KernelReport(results))
+	}
 
 	var notConverged int
 	if o.close {

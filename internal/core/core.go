@@ -144,6 +144,9 @@ type RunResult struct {
 	Coverage    *coverage.Group
 	CodeCov     *coverage.CodeMap
 	VCD         []byte
+	// Kernel is the simulation-kernel profile, collected when
+	// RunOptions.KernelStats is set.
+	Kernel *sim.KernelStats
 }
 
 // Passed reports whether every automatic check of the run succeeded.
@@ -167,6 +170,9 @@ type RunOptions struct {
 	// DumpVCD captures the DUT port waveforms for later bus-accurate
 	// comparison.
 	DumpVCD bool
+	// KernelStats collects the kernel profile (per-process evaluation
+	// counts, settle-depth histogram, SCC inventory) into RunResult.Kernel.
+	KernelStats bool
 	// Bugs applies to the BCA view.
 	Bugs bca.Bugs
 }
@@ -262,6 +268,9 @@ func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptio
 		}
 		res.VCD = buf.Bytes()
 	}
+	if opt.KernelStats {
+		res.Kernel = sm.Stats()
+	}
 	return res, nil
 }
 
@@ -286,11 +295,20 @@ func (p *PairResult) SignedOff() bool {
 // RunPair runs one (test, seed) against the RTL and the BCA views, then
 // performs the bus-accurate comparison and the coverage-equality check.
 func RunPair(cfg nodespec.Config, test Test, seed int64, bugs bca.Bugs) (*PairResult, error) {
-	rres, err := RunTest(cfg, RTLView, test, seed, RunOptions{DumpVCD: true})
+	return RunPairOpt(cfg, test, seed, RunOptions{Bugs: bugs})
+}
+
+// RunPairOpt is RunPair with full run options. DumpVCD is forced on (the
+// bus-accurate comparison needs both waveform dumps); KernelStats and Bugs
+// are honoured as given.
+func RunPairOpt(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*PairResult, error) {
+	rtlOpt := RunOptions{DumpVCD: true, KernelStats: opt.KernelStats}
+	rres, err := RunTest(cfg, RTLView, test, seed, rtlOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: RTL run: %w", err)
 	}
-	bres, err := RunTest(cfg, BCAView, test, seed, RunOptions{DumpVCD: true, Bugs: bugs})
+	bcaOpt := RunOptions{DumpVCD: true, KernelStats: opt.KernelStats, Bugs: opt.Bugs}
+	bres, err := RunTest(cfg, BCAView, test, seed, bcaOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: BCA run: %w", err)
 	}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"crve/internal/sim"
+)
+
+// TestMain runs the whole core suite — which elaborates every DUT view and
+// the full bench around it — under the kernel's strict-sensitivity check, so
+// an undersensitized combinational process anywhere in the design stack
+// fails loudly instead of levelizing against an incomplete input set.
+func TestMain(m *testing.M) {
+	sim.StrictSensitivity = true
+	os.Exit(m.Run())
+}

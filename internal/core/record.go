@@ -4,6 +4,7 @@ import (
 	"crve/internal/catg"
 	"crve/internal/coverage"
 	"crve/internal/nodespec"
+	"crve/internal/sim"
 	"crve/internal/stba"
 )
 
@@ -24,6 +25,7 @@ type RunRecord struct {
 	ScoreErrors  []string          `json:"score_errors,omitempty"`
 	Coverage     *coverage.Group   `json:"coverage"`
 	CodeCov      *coverage.CodeMap `json:"code_cov,omitempty"`
+	Kernel       *sim.KernelStats  `json:"kernel,omitempty"`
 }
 
 // Record snapshots the run for persistence.
@@ -32,7 +34,7 @@ func (r *RunResult) Record() *RunRecord {
 		Test: r.Test, Seed: r.Seed, View: r.View,
 		Cycles: r.Cycles, Drained: r.Drained, Transactions: r.Transactions,
 		Latencies: r.Latencies, Violations: r.Violations, ScoreErrors: r.ScoreErrors,
-		Coverage: r.Coverage, CodeCov: r.CodeCov,
+		Coverage: r.Coverage, CodeCov: r.CodeCov, Kernel: r.Kernel,
 	}
 }
 
@@ -43,7 +45,7 @@ func (rec *RunRecord) Result(cfg nodespec.Config) *RunResult {
 		Test: rec.Test, Seed: rec.Seed, View: rec.View, DUTIn: cfg,
 		Cycles: rec.Cycles, Drained: rec.Drained, Transactions: rec.Transactions,
 		Latencies: rec.Latencies, Violations: rec.Violations, ScoreErrors: rec.ScoreErrors,
-		Coverage: rec.Coverage, CodeCov: rec.CodeCov,
+		Coverage: rec.Coverage, CodeCov: rec.CodeCov, Kernel: rec.Kernel,
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 
 // cacheSchema names the on-disk entry layout. Bump it whenever the record
 // format or the key derivation changes; stale entries then miss cleanly.
-const cacheSchema = "crve-regress-cache-v1"
+const cacheSchema = "crve-regress-cache-v2"
 
 // CodeVersion identifies the simulation semantics baked into cached results:
 // the cache schema plus, when the binary carries build metadata, the VCS

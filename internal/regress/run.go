@@ -11,6 +11,7 @@ import (
 	"crve/internal/coverage"
 	"crve/internal/lint"
 	"crve/internal/nodespec"
+	"crve/internal/sim"
 )
 
 // Options tunes a regression run.
@@ -38,6 +39,10 @@ type Options struct {
 	// hash to an existing entry are served from disk instead of
 	// re-simulated, and fresh results are stored back.
 	Cache *Cache
+	// KernelStats collects the simulation-kernel profile of every simulated
+	// unit (cache-served units keep whatever profile their stored record
+	// has, possibly none). Aggregate with KernelReport.
+	KernelStats bool
 }
 
 // TestRun is one (test, seed) execution on both views.
@@ -195,6 +200,47 @@ func Run(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, Stats, error) {
 func RunMatrix(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, error) {
 	results, _, err := Run(cfgs, opt)
 	return results, err
+}
+
+// KernelReport renders the merged simulation-kernel profile of a matrix
+// run, one section per (configuration, view): deltas/cycle, settle-depth
+// histogram, cyclic-SCC inventory and the hottest processes. Runs without a
+// profile (cache-served records stored before kernel stats existed, or runs
+// without Options.KernelStats) are skipped; an empty report says so.
+func KernelReport(results []*ConfigResult) string {
+	var sb strings.Builder
+	any := false
+	for _, cr := range results {
+		for view := 0; view < 2; view++ {
+			var merged *sim.KernelStats
+			name := "RTL"
+			n := 0
+			for _, run := range cr.Runs {
+				r := run.Pair.RTL
+				if view == 1 {
+					r, name = run.Pair.BCA, "BCA"
+				}
+				if r.Kernel == nil {
+					continue
+				}
+				if merged == nil {
+					merged = &sim.KernelStats{}
+				}
+				merged.Merge(r.Kernel)
+				n++
+			}
+			if merged == nil {
+				continue
+			}
+			any = true
+			fmt.Fprintf(&sb, "%s %s (%d runs)\n", cr.Cfg.Name, name, n)
+			merged.Text(&sb, 5)
+		}
+	}
+	if !any {
+		return "no kernel profiles recorded (enable Options.KernelStats on a cold cache)\n"
+	}
+	return sb.String()
 }
 
 // MatrixReport renders the configuration-level summary table (the paper's

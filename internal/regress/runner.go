@@ -187,7 +187,7 @@ func runUnit(u workUnit, opt Options) unitOutcome {
 			return unitOutcome{idx: u.idx, pair: rec.Result(u.cfg), cached: true}
 		}
 	}
-	pair, err := core.RunPair(u.cfg, u.test, u.seed, opt.Bugs)
+	pair, err := core.RunPairOpt(u.cfg, u.test, u.seed, core.RunOptions{Bugs: opt.Bugs, KernelStats: opt.KernelStats})
 	if err != nil {
 		return unitOutcome{idx: u.idx, err: fmt.Errorf("regress: %s/%s seed %d: %w", u.cfg.Name, u.test.Name, u.seed, err)}
 	}

@@ -129,13 +129,16 @@ func NewNode(sc sim.Scope, cfg NodeConfig) (*Node, error) {
 
 	n.tick = ns.Signal("tick", 32)
 	sens := []*sim.Signal{n.tick}
+	var outs []*sim.Signal
 	for _, p := range n.Init {
 		sens = append(sens, p.Req, p.Add, p.EOP, p.Lck, p.Pri, p.RGnt)
+		outs = append(outs, p.Gnt)
 	}
 	for _, p := range n.Tgt {
 		sens = append(sens, p.Gnt, p.RReq, p.RSrc)
+		outs = append(outs, p.RGnt)
 	}
-	ns.Comb("grants", n.comb, sens...)
+	ns.CombOut("grants", n.comb, outs, sens...)
 	ns.Seq("state", n.seq)
 	return n, nil
 }

@@ -82,20 +82,33 @@ func (b Bits) Equal(o Bits) bool { return b.v == o.v }
 // IsZero reports whether every bit is clear.
 func (b Bits) IsZero() bool { return !b.Bool() }
 
+// maskTab[w] has the low w bits set; Mask is on the kernel's hottest path
+// (every Signal write masks to the signal width), so the masks are built
+// once and applied branch-free.
+var maskTab = func() [MaxBitsWidth + 1]Bits {
+	var t [MaxBitsWidth + 1]Bits
+	for w := 1; w <= MaxBitsWidth; w++ {
+		t[w] = t[w-1].SetBit(w-1, true)
+	}
+	return t
+}()
+
+//go:noinline
+func panicMaskWidth(w int) {
+	panic(fmt.Sprintf("sim: mask width %d out of range", w))
+}
+
 // Mask returns b truncated to width w bits.
 func (b Bits) Mask(w int) Bits {
-	if w < 0 || w > MaxBitsWidth {
-		panic(fmt.Sprintf("sim: mask width %d out of range", w))
+	if uint(w) > MaxBitsWidth {
+		panicMaskWidth(w)
 	}
-	var r Bits
-	full := w / 64
-	for i := 0; i < full; i++ {
-		r.v[i] = b.v[i]
-	}
-	if rem := w % 64; rem != 0 {
-		r.v[full] = b.v[full] & (^uint64(0) >> (64 - rem))
-	}
-	return r
+	m := &maskTab[w]
+	b.v[0] &= m.v[0]
+	b.v[1] &= m.v[1]
+	b.v[2] &= m.v[2]
+	b.v[3] &= m.v[3]
+	return b
 }
 
 // Bit returns bit i as a bool.
@@ -119,19 +132,52 @@ func (b Bits) SetBit(i int, v bool) Bits {
 	return b
 }
 
+// ones returns a Bits with the low w bits set.
+func ones(w int) Bits {
+	var r Bits
+	full := w / 64
+	for i := 0; i < full; i++ {
+		r.v[i] = ^uint64(0)
+	}
+	if rem := w % 64; rem != 0 {
+		r.v[full] = ^uint64(0) >> (64 - rem)
+	}
+	return r
+}
+
+// shl returns b shifted left by n bits (n in 0..MaxBitsWidth).
+func (b Bits) shl(n int) Bits {
+	word, off := n/64, uint(n)%64
+	var r Bits
+	for i := BitsWords - 1; i >= word; i-- {
+		r.v[i] = b.v[i-word] << off
+		if off != 0 && i-word-1 >= 0 {
+			r.v[i] |= b.v[i-word-1] >> (64 - off)
+		}
+	}
+	return r
+}
+
+// shr returns b shifted right by n bits (n in 0..MaxBitsWidth).
+func (b Bits) shr(n int) Bits {
+	word, off := n/64, uint(n)%64
+	var r Bits
+	for i := 0; i+word < BitsWords; i++ {
+		r.v[i] = b.v[i+word] >> off
+		if off != 0 && i+word+1 < BitsWords {
+			r.v[i] |= b.v[i+word+1] << (64 - off)
+		}
+	}
+	return r
+}
+
 // Field extracts w bits starting at bit lo as the low bits of the result.
 // It panics if the field crosses the 256-bit capacity.
 func (b Bits) Field(lo, w int) Bits {
 	if lo < 0 || w < 0 || lo+w > MaxBitsWidth {
 		panic(fmt.Sprintf("sim: field [%d +%d] out of range", lo, w))
 	}
-	var r Bits
-	for i := 0; i < w; i++ {
-		if b.Bit(lo + i) {
-			r = r.SetBit(i, true)
-		}
-	}
-	return r
+	return b.shr(lo).Mask(w)
 }
 
 // WithField returns a copy of b with w bits starting at lo replaced by the
@@ -140,8 +186,10 @@ func (b Bits) WithField(lo, w int, val Bits) Bits {
 	if lo < 0 || w < 0 || lo+w > MaxBitsWidth {
 		panic(fmt.Sprintf("sim: field [%d +%d] out of range", lo, w))
 	}
-	for i := 0; i < w; i++ {
-		b = b.SetBit(lo+i, val.Bit(i))
+	m := ones(w).shl(lo)
+	v := val.Mask(w).shl(lo)
+	for i := range b.v {
+		b.v[i] = b.v[i]&^m.v[i] | v.v[i]
 	}
 	return b
 }

@@ -44,3 +44,9 @@ func (sc Scope) Seq(name string, fn func()) { sc.sim.Seq(sc.join(name), fn) }
 func (sc Scope) Comb(name string, fn func(), sensitivity ...*Signal) {
 	sc.sim.Comb(sc.join(name), fn, sensitivity...)
 }
+
+// CombOut registers a combinational process with declared outputs named
+// under this scope.
+func (sc Scope) CombOut(name string, fn func(), outputs []*Signal, sensitivity ...*Signal) {
+	sc.sim.CombOut(sc.join(name), fn, outputs, sensitivity...)
+}

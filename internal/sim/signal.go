@@ -15,6 +15,9 @@ type Signal struct {
 	cur     Bits
 	next    Bits
 	pending bool
+	// mask points at the maskTab entry for width, letting Set mask
+	// without a (non-inlinable) Bits.Mask call.
+	mask *Bits
 
 	// sensitive holds the combinational processes to wake when the
 	// committed value changes.
@@ -31,26 +34,70 @@ func (s *Signal) Width() int { return s.width }
 // by tracers and monitors.
 func (s *Signal) ID() int { return s.id }
 
+// strictCheck panics when the currently evaluating combinational process
+// reads a signal outside its sensitivity list: such a process would not be
+// re-run when the signal changes, and the levelized scheduler would rank it
+// against an incomplete input set. Sequential processes and cycle-end hooks
+// read freely.
+func (s *Signal) strictCheck() {
+	p := s.sim.cur
+	if p == nil || p.seq || p.sensHas(s.id) {
+		return
+	}
+	panic(fmt.Sprintf("sim: strict sensitivity: process %q read signal %q outside its sensitivity list",
+		p.name, s.name))
+}
+
 // Get returns the current committed value.
-func (s *Signal) Get() Bits { return s.cur }
+func (s *Signal) Get() Bits {
+	if s.sim.Strict {
+		s.strictCheck()
+	}
+	return s.cur
+}
 
 // U64 returns the low 64 bits of the current committed value.
-func (s *Signal) U64() uint64 { return s.cur.Uint64() }
+func (s *Signal) U64() uint64 {
+	if s.sim.Strict {
+		s.strictCheck()
+	}
+	return s.cur.Uint64()
+}
 
 // Bool reports whether the current committed value is non-zero.
-func (s *Signal) Bool() bool { return s.cur.Bool() }
+func (s *Signal) Bool() bool {
+	if s.sim.Strict {
+		s.strictCheck()
+	}
+	return s.cur.Bool()
+}
 
 // Set schedules v (masked to the signal width) to be committed at the next
 // delta boundary. Writing the current value cancels any pending change, like
 // a SystemC sc_signal write of an equal value.
+//
+// Before the elaboration freeze, writes performed by a combinational process
+// that did not declare its outputs (legacy Comb) are recorded as its driven
+// signals — the learning fallback behind levelization. A write of the
+// current value still identifies the signal as an output.
 func (s *Signal) Set(v Bits) {
-	v = v.Mask(s.width)
+	sm := s.sim
+	if !sm.frozen {
+		if p := sm.cur; p != nil && !p.seq && !p.declared {
+			p.noteOut(s)
+		}
+	}
+	m := s.mask
+	v.v[0] &= m.v[0]
+	v.v[1] &= m.v[1]
+	v.v[2] &= m.v[2]
+	v.v[3] &= m.v[3]
 	if !s.pending {
 		if v.Equal(s.cur) {
 			return
 		}
 		s.pending = true
-		s.sim.pending = append(s.sim.pending, s)
+		sm.pending = append(sm.pending, s)
 	}
 	s.next = v
 }

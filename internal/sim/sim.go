@@ -14,11 +14,81 @@ const DefaultMaxDeltas = 1000
 // contains an unstable combinational loop.
 var ErrOscillation = errors.New("sim: combinational logic did not settle (oscillation)")
 
+// ForceDeltaLoop, when set before New, makes new simulators settle with the
+// legacy iterate-to-fixpoint delta loop instead of the levelized scheduler.
+// It exists for the kernel-equivalence property tests and for the ablation
+// benchmarks; production callers leave it false.
+var ForceDeltaLoop bool
+
+// StrictSensitivity, when set before New, makes new simulators panic when a
+// combinational process reads a signal outside its sensitivity list. Such a
+// process is undersensitized: it would not be re-run when the signal
+// changes, and the levelized scheduler would rank it against an incomplete
+// input set. Test suites enable this; production callers leave it false.
+var StrictSensitivity bool
+
 type process struct {
 	name string
 	fn   func()
 	seq  bool
 	inQ  bool
+
+	// id is the dense registration index among combinational processes,
+	// assigned at levelization; it doubles as the deterministic tiebreaker.
+	id int
+	// evals counts evaluations, for the kernel profiling surface.
+	evals uint64
+
+	// declared reports that outs came from CombOut rather than from the
+	// time-zero write-recording fallback.
+	declared bool
+	// outs holds the signals this process drives (declared or learned).
+	outs []*Signal
+	// sens is the sensitivity list as registered.
+	sens []*Signal
+	// sensBits is a bitset over signal IDs backing the strict-sensitivity
+	// check.
+	sensBits []uint64
+
+	// unit/rank/cyclic are the levelization results (valid when frozen).
+	unit   int
+	rank   int
+	cyclic bool
+}
+
+// noteOut records s as a driven signal of p (learning fallback for legacy
+// Comb registrations). Output lists are short, so a linear scan beats a map.
+func (p *process) noteOut(s *Signal) {
+	for _, o := range p.outs {
+		if o == s {
+			return
+		}
+	}
+	p.outs = append(p.outs, s)
+}
+
+func (p *process) setSensBit(id int) {
+	w := id >> 6
+	for len(p.sensBits) <= w {
+		p.sensBits = append(p.sensBits, 0)
+	}
+	p.sensBits[w] |= 1 << (uint(id) & 63)
+}
+
+func (p *process) sensHas(id int) bool {
+	w := id >> 6
+	return w < len(p.sensBits) && p.sensBits[w]&(1<<(uint(id)&63)) != 0
+}
+
+// sccUnit is one strongly connected component of the combinational process
+// graph, the scheduling unit of the levelized settler. Units are kept in
+// topological order of the condensation (ties within a rank break by
+// registration order).
+type sccUnit struct {
+	procs  []*process // members, in registration order
+	rank   int
+	cyclic bool
+	queued int // members currently woken
 }
 
 // Simulator owns a set of signals and processes and advances them under a
@@ -27,29 +97,73 @@ type process struct {
 //
 //  1. runs every sequential process once (they observe values settled at the
 //     end of the previous cycle),
-//  2. commits scheduled signal updates and wakes sensitive combinational
-//     processes, repeating until no signal changes (delta loop),
+//  2. commits scheduled signal updates and settles combinational processes —
+//     by default with the levelized scheduler (one ranked sweep over the
+//     SCC condensation of the process graph, iterating to a fixed point only
+//     inside cyclic components), or with the bounded iterate-to-fixpoint
+//     delta loop when ForceDeltaLoop is set,
 //  3. invokes end-of-cycle hooks (monitors, tracers) which observe the fully
 //     settled cycle.
+//
+// Both settling strategies reach the same fixed point on acyclic logic (the
+// fixed point is unique) and iterate deterministically inside cyclic
+// components, so waveforms are identical either way.
 type Simulator struct {
 	signals []*Signal
 	seqs    []*process
-	pending []*Signal
-	runQ    []*process
+	combs   []*process
 	hooks   []func()
 
-	cycle     uint64
-	started   bool
+	// pending/runQ and their spares are double-buffered so the settle hot
+	// loop is allocation-free in steady state.
+	pending   []*Signal
+	pendSpare []*Signal
+	runQ      []*process
+	runQSpare []*process
+
+	// units is the topologically ordered SCC condensation, built at the
+	// Step-time elaboration freeze; nil when levelization is disabled.
+	units       []*sccUnit
+	totalQueued int
+	maxRank     int
+
+	cycle  uint64
+	frozen bool
+
+	// cur is the process currently evaluating (nil outside evaluations);
+	// it anchors the strict-sensitivity check and output learning.
+	cur *process
+
 	MaxDeltas int
 
+	// ForceDeltaLoop disables the levelized scheduler on this simulator;
+	// it must be set before the first Step. Initialized from the package
+	// variable of the same name.
+	ForceDeltaLoop bool
+
+	// Strict enables the strict-sensitivity debug check on this simulator.
+	// Initialized from the package variable StrictSensitivity.
+	Strict bool
+
 	// DeltaCount accumulates the total number of delta iterations executed,
-	// exposed for the kernel-convergence ablation benchmarks.
+	// exposed for the kernel-convergence ablation benchmarks. The levelized
+	// scheduler charges one delta per settle plus one per extra fixpoint
+	// iteration inside cyclic components (and per mop-up pass after an
+	// undeclared write fed an already-swept rank).
 	DeltaCount uint64
+
+	// settles/settleHist back the Stats settle-depth histogram.
+	settles    uint64
+	settleHist [settleHistBuckets]uint64
 }
 
 // New returns an empty simulator.
 func New() *Simulator {
-	return &Simulator{MaxDeltas: DefaultMaxDeltas}
+	return &Simulator{
+		MaxDeltas:      DefaultMaxDeltas,
+		ForceDeltaLoop: ForceDeltaLoop,
+		Strict:         StrictSensitivity,
+	}
 }
 
 // Signal creates a new signal with the given hierarchical name and bit width.
@@ -57,7 +171,7 @@ func (sm *Simulator) Signal(name string, width int) *Signal {
 	if width <= 0 || width > MaxBitsWidth {
 		panic(fmt.Sprintf("sim: signal %q width %d out of range 1..%d", name, width, MaxBitsWidth))
 	}
-	s := &Signal{sim: sm, id: len(sm.signals), name: name, width: width}
+	s := &Signal{sim: sm, id: len(sm.signals), name: name, width: width, mask: &maskTab[width]}
 	sm.signals = append(sm.signals, s)
 	return s
 }
@@ -75,22 +189,72 @@ func (sm *Simulator) Cycle() uint64 { return sm.cycle }
 // Seq registers a sequential (clocked) process, run once per cycle in
 // registration order.
 func (sm *Simulator) Seq(name string, fn func()) {
-	sm.seqs = append(sm.seqs, &process{name: name, fn: fn, seq: true})
+	sm.seqs = append(sm.seqs, &process{name: name, fn: fn, seq: true, unit: -1})
 }
 
 // Comb registers a combinational process sensitive to the given signals. The
 // process runs whenever any of them changes, and once at the start of
-// simulation to establish initial outputs.
+// simulation to establish initial outputs. Its driven signals are learned by
+// recording its writes on that mandatory time-zero evaluation; processes
+// whose writes are conditional should declare them with CombOut instead so
+// the levelized scheduler ranks them exactly.
 func (sm *Simulator) Comb(name string, fn func(), sensitivity ...*Signal) {
-	p := &process{name: name, fn: fn}
-	for _, s := range sensitivity {
+	sm.addComb(name, fn, nil, false, sensitivity)
+}
+
+// CombOut registers a combinational process that declares the signals it
+// drives. Sensitivity (inputs) plus outputs give the levelized scheduler the
+// exact dependency edges of the process, with no reliance on the time-zero
+// learning fallback.
+func (sm *Simulator) CombOut(name string, fn func(), outputs []*Signal, sensitivity ...*Signal) {
+	sm.addComb(name, fn, outputs, true, sensitivity)
+}
+
+func (sm *Simulator) addComb(name string, fn func(), outs []*Signal, declared bool, sens []*Signal) {
+	p := &process{name: name, fn: fn, declared: declared, unit: -1}
+	for _, s := range sens {
 		if s.sim != sm {
 			panic(fmt.Sprintf("sim: process %q sensitive to foreign signal %q", name, s.name))
 		}
 		s.sensitive = append(s.sensitive, p)
+		p.setSensBit(s.id)
 	}
-	// Run once at time zero so outputs are defined before the first cycle.
+	p.sens = append(p.sens, sens...)
+	for _, s := range outs {
+		if s.sim != sm {
+			panic(fmt.Sprintf("sim: process %q declares foreign output %q", name, s.name))
+		}
+		p.noteOut(s)
+	}
+	sm.combs = append(sm.combs, p)
+	// Any new combinational process invalidates the levelization; the next
+	// Step re-freezes (and runs the new process's time-zero evaluation).
+	sm.unfreeze()
 	sm.wake(p)
+}
+
+// unfreeze drops the levelized schedule so the next Step re-elaborates.
+// Queued wakes are re-homed onto the legacy run queue.
+func (sm *Simulator) unfreeze() {
+	if !sm.frozen && sm.units == nil {
+		return
+	}
+	sm.frozen = false
+	if sm.units != nil {
+		for _, u := range sm.units {
+			if u.queued == 0 {
+				continue
+			}
+			for _, p := range u.procs {
+				if p.inQ {
+					sm.runQ = append(sm.runQ, p)
+					u.queued--
+				}
+			}
+		}
+		sm.units = nil
+		sm.totalQueued = 0
+	}
 }
 
 // AtCycleEnd registers a read-only observer hook invoked after each cycle
@@ -104,41 +268,87 @@ func (sm *Simulator) AtCycleEnd(fn func()) {
 }
 
 func (sm *Simulator) wake(p *process) {
-	if !p.inQ {
-		p.inQ = true
+	if p.inQ {
+		return
+	}
+	p.inQ = true
+	if sm.units != nil {
+		sm.units[p.unit].queued++
+		sm.totalQueued++
+	} else {
 		sm.runQ = append(sm.runQ, p)
 	}
 }
 
+// eval runs one process evaluation with the current-process context set for
+// strict-sensitivity checking and output learning.
+func (sm *Simulator) eval(p *process) {
+	sm.cur = p
+	p.evals++
+	p.fn()
+	sm.cur = nil
+}
+
+// commit applies every pending signal write and wakes the processes
+// sensitive to the ones that changed, reporting whether any did. The pending
+// list is double-buffered, not reallocated.
+func (sm *Simulator) commit() bool {
+	pend := sm.pending
+	sm.pending = sm.pendSpare[:0]
+	changed := false
+	for _, s := range pend {
+		s.pending = false
+		if s.next.Equal(s.cur) {
+			continue
+		}
+		s.cur = s.next
+		changed = true
+		for _, p := range s.sensitive {
+			sm.wake(p)
+		}
+	}
+	sm.pendSpare = pend[:0]
+	return changed
+}
+
 // settle commits pending writes and runs woken combinational processes until
-// a fixed point.
+// a fixed point, dispatching to the levelized scheduler when a schedule is
+// in place and recording the settle-depth histogram.
 func (sm *Simulator) settle() error {
+	sm.settles++
+	start := sm.DeltaCount
+	var err error
+	if sm.units != nil {
+		err = sm.settleLevelized()
+	} else {
+		err = sm.settleLoop()
+	}
+	d := sm.DeltaCount - start
+	if d >= settleHistBuckets {
+		d = settleHistBuckets - 1
+	}
+	sm.settleHist[d]++
+	return err
+}
+
+// settleLoop is the legacy bounded iterate-to-fixpoint delta loop: evaluate
+// every woken process, commit, repeat until nothing changes. Its run queue
+// is double-buffered so steady-state settling does not allocate.
+func (sm *Simulator) settleLoop() error {
 	for delta := 0; ; delta++ {
 		if delta > sm.MaxDeltas {
 			return fmt.Errorf("%w after %d deltas at cycle %d", ErrOscillation, delta, sm.cycle)
 		}
 		// Evaluate phase: run every queued process.
 		q := sm.runQ
-		sm.runQ = nil
+		sm.runQ = sm.runQSpare[:0]
 		for _, p := range q {
 			p.inQ = false
-			p.fn()
+			sm.eval(p)
 		}
+		sm.runQSpare = q[:0]
 		// Update phase: commit writes, wake sensitive processes.
-		pend := sm.pending
-		sm.pending = nil
-		changed := false
-		for _, s := range pend {
-			s.pending = false
-			if s.next.Equal(s.cur) {
-				continue
-			}
-			s.cur = s.next
-			changed = true
-			for _, p := range s.sensitive {
-				sm.wake(p)
-			}
-		}
+		changed := sm.commit()
 		sm.DeltaCount++
 		if !changed && len(sm.runQ) == 0 {
 			return nil
@@ -146,17 +356,30 @@ func (sm *Simulator) settle() error {
 	}
 }
 
+// freeze is the Step-time elaboration freeze: it runs the time-zero settle
+// under the legacy loop — during which legacy Comb processes have their
+// writes recorded as outputs — then levelizes the process graph (unless
+// ForceDeltaLoop is set).
+func (sm *Simulator) freeze() error {
+	if err := sm.settle(); err != nil {
+		return err
+	}
+	if !sm.ForceDeltaLoop {
+		sm.buildLevels()
+	}
+	sm.frozen = true
+	return nil
+}
+
 // Step advances the simulation by one clock cycle.
 func (sm *Simulator) Step() error {
-	if !sm.started {
-		sm.started = true
-		// Settle initial combinational state before the first edge.
-		if err := sm.settle(); err != nil {
+	if !sm.frozen {
+		if err := sm.freeze(); err != nil {
 			return err
 		}
 	}
 	for _, p := range sm.seqs {
-		p.fn()
+		sm.eval(p)
 	}
 	if err := sm.settle(); err != nil {
 		return err

@@ -30,15 +30,16 @@ func Bind(sm *sim.Simulator, initSide, tgtSide *Port) {
 		{tgtSide.RTID, initSide.RTID}, {tgtSide.RSrc, initSide.RSrc},
 	}
 	copyProc := func(name string, pairs [][2]*sim.Signal) {
-		var sens []*sim.Signal
+		var sens, outs []*sim.Signal
 		for _, p := range pairs {
 			sens = append(sens, p[0])
+			outs = append(outs, p[1])
 		}
-		sm.Comb(name, func() {
+		sm.CombOut(name, func() {
 			for _, p := range pairs {
 				p[1].Set(p[0].Get())
 			}
-		}, sens...)
+		}, outs, sens...)
 	}
 	copyProc("bind."+initSide.Name+">"+tgtSide.Name, fwd)
 	copyProc("bind."+tgtSide.Name+">"+initSide.Name, bwd)
