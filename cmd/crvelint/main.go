@@ -7,18 +7,33 @@
 //
 //	crvelint [flags] path...
 //
-// Each path is a configuration file or a directory of *.cfg files. All
-// configurations named on one command line are linted as a single set, so
-// cross-configuration rules (duplicate names) see everything at once.
+// Each path is a configuration file, a topology file (*.fab) or a directory.
+// A directory contributes its *.cfg files to the lint set and its *.fab
+// files to the fabric checks. All configurations named on one command line
+// are linted as a single set, so cross-configuration rules (duplicate names)
+// see everything at once; each topology is elaborated and checked as a whole
+// fabric (CRVE018–CRVE023), including the per-config lint of every node
+// configuration it references.
 //
 // Flags:
 //
-//	-json        emit the report as JSON instead of text
-//	-seeds list  comma-separated seed list to lint alongside the configs
-//	-codes       print the diagnostic-code table and exit
+//	-json          emit the report as JSON instead of text
+//	-seeds list    comma-separated seed list to lint alongside the configs
+//	-codes         print the diagnostic-code table and exit
+//	-fabric list   comma-separated topology files to check as whole fabrics
+//	-fix           rewrite configs to repair mechanical diagnostics, then re-lint
+//
+// -fix repairs what has exactly one mechanical resolution — duplicate
+// configuration names (CRVE015: later duplicates are renamed after their
+// file) and non-power-of-two pipe depths (CRVE013: rounded up to the next
+// power of two) — by rewriting the file through the regress.FormatConfig
+// round trip, which normalizes formatting and drops comments. Duplicate
+// seeds (CRVE016) are dropped from the seed list for the re-lint (the flag
+// itself cannot be rewritten). Files with parse errors are never touched.
+// A second -fix pass finds nothing left to repair and changes zero bytes.
 //
 // Exit status is 0 when the set is clean (warnings allowed), 1 when any
-// Error-severity diagnostic was reported, and 2 on usage or I/O failure.
+// Error-severity diagnostic remains, and 2 on usage or I/O failure.
 package main
 
 import (
@@ -27,6 +42,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -46,9 +62,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	seedList := fs.String("seeds", "", "comma-separated seed list to lint alongside the configs")
 	codes := fs.Bool("codes", false, "print the diagnostic-code table and exit")
+	fabricList := fs.String("fabric", "", "comma-separated topology files to check as whole fabrics")
+	fix := fs.Bool("fix", false, "rewrite configs to repair mechanical diagnostics, then re-lint")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: crvelint [flags] path...")
-		fmt.Fprintln(stderr, "Each path is a configuration file or a directory of *.cfg files.")
+		fmt.Fprintln(stderr, "Each path is a configuration file, a topology file (*.fab) or a directory")
+		fmt.Fprintln(stderr, "of *.cfg and *.fab files.")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -58,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printCodes(stdout)
 		return 0
 	}
-	if fs.NArg() == 0 {
+	if fs.NArg() == 0 && *fabricList == "" {
 		fs.Usage()
 		return 2
 	}
@@ -68,17 +87,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "crvelint: %v\n", err)
 		return 2
 	}
-	var srcs []lint.Source
+	var cfgPaths []string
+	fabrics := splitList(*fabricList)
 	for _, path := range fs.Args() {
-		s, err := loadPath(path)
+		info, err := os.Stat(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "crvelint: %v\n", err)
 			return 2
 		}
-		srcs = append(srcs, s...)
+		switch {
+		case info.IsDir():
+			fabs, err := fabFileNames(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "crvelint: %v\n", err)
+				return 2
+			}
+			fabrics = append(fabrics, fabs...)
+			cfgPaths = append(cfgPaths, path)
+		case strings.HasSuffix(path, ".fab"):
+			fabrics = append(fabrics, path)
+		default:
+			cfgPaths = append(cfgPaths, path)
+		}
+	}
+
+	srcs, err := loadSources(cfgPaths)
+	if err != nil {
+		fmt.Fprintf(stderr, "crvelint: %v\n", err)
+		return 2
+	}
+	if *fix {
+		seeds, err = applyFixes(srcs, seeds, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "crvelint: %v\n", err)
+			return 2
+		}
+		// Re-lint what is actually on disk now, not the in-memory edits.
+		if srcs, err = loadSources(cfgPaths); err != nil {
+			fmt.Fprintf(stderr, "crvelint: %v\n", err)
+			return 2
+		}
 	}
 
 	report := lint.CheckSet(srcs, seeds)
+	for _, fab := range fabrics {
+		frep, err := regress.CheckFabric(fab)
+		if err != nil {
+			fmt.Fprintf(stderr, "crvelint: %v\n", err)
+			return 2
+		}
+		report.Diags = append(report.Diags, frep.Diags...)
+	}
+	report.Sort()
 	if *jsonOut {
 		if err := report.JSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "crvelint: %v\n", err)
@@ -93,9 +153,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// loadPath turns one command-line path — a directory of *.cfg files or a
-// single configuration file — into lint sources. Parse failures become
-// CRVE000 diagnostics, not errors: only I/O problems stop the run.
+// loadSources turns the configuration paths — directories of *.cfg files or
+// single files — into lint sources. Parse failures become CRVE000
+// diagnostics, not errors: only I/O problems stop the run.
+func loadSources(paths []string) ([]lint.Source, error) {
+	var srcs []lint.Source
+	for _, path := range paths {
+		s, err := loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, s...)
+	}
+	return srcs, nil
+}
+
+// loadPath turns one configuration path into lint sources.
 func loadPath(path string) ([]lint.Source, error) {
 	info, err := os.Stat(path)
 	if err != nil {
@@ -118,6 +191,100 @@ func loadPath(path string) ([]lint.Source, error) {
 	return []lint.Source{src}, nil
 }
 
+// fabFileNames lists the *.fab topology files of dir, sorted by name. An
+// empty result is fine: most directories hold only configs.
+func fabFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".fab") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// applyFixes repairs the mechanically fixable diagnostics in place:
+// duplicate names (CRVE015) by renaming later duplicates after their file,
+// and non-power-of-two pipe depths (CRVE013) by rounding up. Fixed files are
+// rewritten through the FormatConfig round trip; untouched files keep their
+// bytes, which is what makes a second pass a no-op. Returns the seed list
+// with duplicates (CRVE016) dropped.
+func applyFixes(srcs []lint.Source, seeds []int64, stderr io.Writer) ([]int64, error) {
+	taken := map[string]bool{}
+	for _, src := range srcs {
+		taken[src.Cfg.WithDefaults().Name] = true
+	}
+	seen := map[string]bool{}
+	for i := range srcs {
+		src := &srcs[i]
+		if parseBroken(*src) {
+			continue // never rewrite a file the parser could not read back
+		}
+		cfg := src.Cfg.WithDefaults()
+		changed := false
+
+		if seen[cfg.Name] {
+			base := strings.TrimSuffix(filepath.Base(src.File), ".cfg")
+			name := base
+			for n := 2; taken[name]; n++ {
+				name = fmt.Sprintf("%s_%d", base, n)
+			}
+			fmt.Fprintf(stderr, "crvelint: fix %s: renamed %q -> %q (CRVE015)\n", src.File, cfg.Name, name)
+			cfg.Name = name
+			taken[name] = true
+			changed = true
+		}
+		seen[cfg.Name] = true
+
+		// A t3 node with pipe 1 (the other CRVE013 variant) is a design
+		// decision, not a typo with one mechanical resolution; only the
+		// depth rounding is safe to automate.
+		if p := cfg.PipeSize; p > 1 && p <= 64 && p&(p-1) != 0 {
+			next := 2
+			for next < p {
+				next *= 2
+			}
+			fmt.Fprintf(stderr, "crvelint: fix %s: pipe %d -> %d (CRVE013)\n", src.File, p, next)
+			cfg.PipeSize = next
+			changed = true
+		}
+
+		if changed {
+			if err := os.WriteFile(src.File, []byte(regress.FormatConfig(cfg)), 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var out []int64
+	dupSeen := map[int64]bool{}
+	for _, s := range seeds {
+		if dupSeen[s] {
+			fmt.Fprintf(stderr, "crvelint: fix: dropped duplicate seed %d (CRVE016)\n", s)
+			continue
+		}
+		dupSeen[s] = true
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parseBroken reports whether the source carries an Error-grade parse
+// diagnostic.
+func parseBroken(src lint.Source) bool {
+	for _, d := range src.Parse {
+		if d.Severity == lint.Error {
+			return true
+		}
+	}
+	return false
+}
+
 // parseSeeds parses the -seeds flag: a comma-separated list of int64s.
 func parseSeeds(list string) ([]int64, error) {
 	if list == "" {
@@ -132,6 +299,17 @@ func parseSeeds(list string) ([]int64, error) {
 		seeds = append(seeds, s)
 	}
 	return seeds, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty fields.
+func splitList(list string) []string {
+	var out []string
+	for _, f := range strings.Split(list, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // printCodes renders the rule table: every diagnostic code, its severity

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -111,5 +113,130 @@ func TestUsageAndIOFailures(t *testing.T) {
 	}
 	if code, _, stderr := runCLI(t, "-seeds", "1,x", "configs"); code != 2 || !strings.Contains(stderr, "bad seed") {
 		t.Errorf("bad seeds: code=%d stderr=%q, want 2 + bad seed", code, stderr)
+	}
+}
+
+// runOnce invokes the command body without changing directory: fix/fabric
+// tests call it several times in one test, against absolute or
+// already-anchored paths.
+func runOnce(args ...string) (code int, stdout, stderr string) {
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+const fixableCfg = `name      = %s
+type      = t3
+data_bits = 32
+endian    = little
+num_init  = 2
+num_tgt   = 2
+arch      = full
+req_arb   = lru
+resp_arb  = priority
+pipe      = %d
+map       = 0x1000:0x1000:0, 0x2000:0x1000:1
+`
+
+// TestFixIdempotent is the acceptance check for -fix: the first pass
+// repairs the mechanical diagnostics (duplicate names, non-power-of-two
+// pipe, duplicate seeds), the rewritten files re-parse cleanly, and a
+// second pass fixes nothing and changes zero bytes. A file the parser
+// cannot read is never touched.
+func TestFixIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.cfg", fmt.Sprintf(fixableCfg, "dup", 4))
+	write("b.cfg", fmt.Sprintf(fixableCfg, "dup", 4)) // CRVE015: later duplicate
+	write("c.cfg", fmt.Sprintf(fixableCfg, "c", 6))   // CRVE013: non-power-of-two
+	const brokenText = "this is not = a = config\npipe = banana\n"
+	write("broken.cfg", brokenText)
+
+	snapshot := func() map[string]string {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := map[string]string{}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = string(b)
+		}
+		return files
+	}
+
+	code1, stdout1, stderr1 := runOnce("-fix", "-seeds", "1,2,1", dir)
+	if code1 != 1 { // broken.cfg keeps its CRVE000 errors
+		t.Errorf("first pass: exit = %d, want 1 (parse errors remain); stdout:\n%s", code1, stdout1)
+	}
+	for _, want := range []string{
+		`renamed "dup" -> "b" (CRVE015)`,
+		"pipe 6 -> 8 (CRVE013)",
+		"dropped duplicate seed 1 (CRVE016)",
+	} {
+		if !strings.Contains(stderr1, want) {
+			t.Errorf("first pass stderr missing %q:\n%s", want, stderr1)
+		}
+	}
+	// Everything mechanical is gone from the re-lint report: what remains
+	// is the untouchable parse-broken file.
+	for _, gone := range []string{"CRVE013", "CRVE015", "CRVE016"} {
+		if strings.Contains(stdout1, gone) {
+			t.Errorf("first pass report still carries %s:\n%s", gone, stdout1)
+		}
+	}
+	after1 := snapshot()
+	if after1["broken.cfg"] != brokenText {
+		t.Errorf("-fix rewrote a parse-broken file:\n%s", after1["broken.cfg"])
+	}
+
+	code2, stdout2, stderr2 := runOnce("-fix", "-seeds", "1,2,1", dir)
+	if code2 != code1 {
+		t.Errorf("second pass: exit = %d, want %d", code2, code1)
+	}
+	for _, fixed := range []string{"renamed", "pipe"} {
+		if strings.Contains(stderr2, fixed) {
+			t.Errorf("second pass still fixing files (%q):\n%s", fixed, stderr2)
+		}
+	}
+	if stdout2 != stdout1 {
+		t.Errorf("second pass report differs:\nfirst:\n%s\nsecond:\n%s", stdout1, stdout2)
+	}
+	after2 := snapshot()
+	for name, want := range after1 {
+		if after2[name] != want {
+			t.Errorf("second -fix pass changed bytes of %s:\n--- first pass\n%s\n--- second pass\n%s",
+				name, want, after2[name])
+		}
+	}
+	if len(after2) != len(after1) {
+		t.Errorf("second pass changed the file set: %d -> %d files", len(after1), len(after2))
+	}
+}
+
+// TestFabricFlag drives the -fabric path end to end: a topology with a
+// black-holed window fails with CRVE019, and the shipped Figure 1 topology
+// passes with only its documented residual warning.
+func TestFabricFlag(t *testing.T) {
+	t.Chdir("../..")
+	code, stdout, _ := runOnce("-fabric", "configs/bad/crve019_blackhole.fab")
+	if code != 1 || !strings.Contains(stdout, "CRVE019") {
+		t.Errorf("bad fabric: exit=%d, want 1 with CRVE019; stdout:\n%s", code, stdout)
+	}
+	code, stdout, _ = runOnce("-fabric", "examples/interconnect/figure1.fab")
+	if code != 0 {
+		t.Errorf("figure1.fab: exit=%d, want 0; stdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "CRVE003") || !strings.Contains(stdout, "0 error(s)") {
+		t.Errorf("figure1.fab should leave exactly its documented CRVE003 residual:\n%s", stdout)
 	}
 }

@@ -15,6 +15,7 @@
 //	regress -emit ./configs            # materialise the matrix as .cfg files
 //	regress -config ./configs -close   # close coverage holes with synthesized tests
 //	regress -matrix -quick -kernelstats # also print the kernel profile per config/view
+//	regress -config ./configs -fabric topo.fab  # also gate on a whole-fabric check
 //
 // The report output is byte-identical at any -j width: work units fan out
 // across the pool but merge deterministically. With -cache, a re-run serves
@@ -64,6 +65,7 @@ type options struct {
 	maxIters    int
 	budget      uint64
 	kernelstats bool
+	fabricArg   string
 }
 
 func main() {
@@ -83,6 +85,7 @@ func main() {
 	flag.IntVar(&o.maxIters, "max-iters", 8, "with -close: maximum closure iterations per configuration")
 	flag.Uint64Var(&o.budget, "budget", 0, "with -close: closure cycle budget per configuration, both views (0 = unlimited)")
 	flag.BoolVar(&o.kernelstats, "kernelstats", false, "collect and print the simulation-kernel profile (deltas/cycle, settle depth, hottest processes)")
+	flag.StringVar(&o.fabricArg, "fabric", "", "comma-separated topology files (*.fab) the matrix must compose into; checked by the lint gate")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
@@ -155,6 +158,20 @@ func run(o options) error {
 		rep = lint.CheckSet(srcs, seeds)
 	} else {
 		rep = regress.LintConfigs(cfgs, seeds)
+	}
+	if o.fabricArg != "" {
+		for _, path := range strings.Split(o.fabricArg, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			frep, err := regress.CheckFabric(path)
+			if err != nil {
+				return err
+			}
+			rep.Diags = append(rep.Diags, frep.Diags...)
+		}
+		rep.Sort()
 	}
 	for _, d := range rep.Diags {
 		fmt.Fprintln(os.Stderr, "lint:", d)

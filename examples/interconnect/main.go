@@ -88,7 +88,8 @@ func main() {
 		Arch: nodespec.FullCrossbar, ReqArb: arb.LRU, RespArb: arb.Priority,
 		Map: stbus.AddrMap{
 			{Base: memABase, Size: 0x10_0000, Target: 0},
-			{Base: memBBase, Size: 0x10_0000, Target: 1},
+			{Base: memBBase, Size: 0x8_0000, Target: 1},
+			{Base: regBase, Size: 0x1000, Target: 1},
 		},
 	}.WithDefaults())
 	if err != nil {
@@ -119,7 +120,7 @@ func main() {
 		Arch: nodespec.SharedBus, ReqArb: arb.Priority, RespArb: arb.Priority,
 		Map: stbus.AddrMap{
 			{Base: memBBase, Size: 0x8_0000, Target: 0},
-			{Base: regBase, Size: 0x8_0000, Target: 1},
+			{Base: regBase, Size: 0x1000, Target: 1},
 		},
 	}.WithDefaults())
 	if err != nil {
@@ -132,8 +133,11 @@ func main() {
 		log.Fatal(err)
 	}
 	stbus.Bind(sm, nodeB.Tgt[0], memB.Port)
+	// 1024 registers so the decoder serves the full 0x1000-byte window the
+	// nodes route at it — the shipped figure1.fab topology checks exactly
+	// this correspondence.
 	regs, err := rtl.NewRegDecoder(root, rtl.RegDecoderConfig{
-		Name: "regs", Port: p32t2, Base: regBase, NumRegs: 8})
+		Name: "regs", Port: p32t2, Base: regBase, NumRegs: 1024})
 	if err != nil {
 		log.Fatal(err)
 	}

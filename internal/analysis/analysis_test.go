@@ -18,12 +18,17 @@ import (
 // The analyzers key on the import paths of the real repo packages; the test
 // fixtures are tiny stand-ins typechecked under those paths.
 const stubStbus = `package stbus
+import "crve/internal/sim"
 type Type int
 type Endianness int
 const (
 	Type1 Type = 1
 	Type2 Type = 2
 	Type3 Type = 3
+)
+const (
+	LittleEndian Endianness = 0
+	BigEndian    Endianness = 1
 )
 type PortConfig struct {
 	Type     Type
@@ -32,6 +37,65 @@ type PortConfig struct {
 	Endian   Endianness
 }
 func (c PortConfig) WithDefaults() PortConfig { return c }
+type Port struct {
+	Cfg  PortConfig
+	Name string
+}
+func NewPort(sc sim.Scope, name string, cfg PortConfig) *Port { return &Port{Cfg: cfg, Name: name} }
+func Bind(sm *sim.Simulator, initSide, tgtSide *Port)         {}
+`
+
+const stubRtl = `package rtl
+import (
+	"crve/internal/nodespec"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+type NodeConfig = nodespec.Config
+type Node struct {
+	Cfg  NodeConfig
+	Init []*stbus.Port
+	Tgt  []*stbus.Port
+}
+func NewNode(sc sim.Scope, cfg NodeConfig) (*Node, error) { return &Node{}, nil }
+type ConverterConfig struct {
+	Name     string
+	Up, Down stbus.PortConfig
+	Pipe     int
+}
+type Converter struct {
+	Cfg      ConverterConfig
+	Up, Down *stbus.Port
+}
+func NewConverter(sc sim.Scope, cfg ConverterConfig) (*Converter, error) { return &Converter{}, nil }
+func NewSizeConverter(sc sim.Scope, name string, up stbus.PortConfig, downBits int) (*Converter, error) {
+	return &Converter{}, nil
+}
+func NewTypeConverter(sc sim.Scope, name string, up stbus.PortConfig, downType stbus.Type) (*Converter, error) {
+	return &Converter{}, nil
+}
+type MemoryConfig struct {
+	Name       string
+	Port       stbus.PortConfig
+	Base, Size uint64
+	Latency    int
+}
+type Memory struct {
+	Cfg  MemoryConfig
+	Port *stbus.Port
+}
+func NewMemory(sc sim.Scope, cfg MemoryConfig) (*Memory, error) { return &Memory{}, nil }
+type RegDecoderConfig struct {
+	Name    string
+	Port    stbus.PortConfig
+	Base    uint64
+	NumRegs int
+}
+type RegDecoder struct {
+	Cfg  RegDecoderConfig
+	Port *stbus.Port
+}
+func NewRegDecoder(sc sim.Scope, cfg RegDecoderConfig) (*RegDecoder, error) { return &RegDecoder{}, nil }
 `
 
 const stubNodespec = `package nodespec
@@ -107,9 +171,10 @@ func stubs(t *testing.T) mapImporter {
 	imp := mapImporter{}
 	fset := token.NewFileSet()
 	for _, p := range []struct{ path, src string }{
+		{"crve/internal/sim", stubSim},
 		{"crve/internal/stbus", stubStbus},
 		{"crve/internal/nodespec", stubNodespec},
-		{"crve/internal/sim", stubSim},
+		{"crve/internal/rtl", stubRtl},
 	} {
 		f, err := parser.ParseFile(fset, p.path+"/stub.go", p.src, parser.SkipObjectResolution)
 		if err != nil {
@@ -286,6 +351,118 @@ func watch(sm *sim.Simulator, q *sim.Signal) {
 	}
 }
 
+// bindcheckFixture is the seeded mismatched-Bind elaboration: it mirrors the
+// examples/interconnect idiom (config vars, node + converter + memory
+// construction) and contains exactly two provably bad Bind calls.
+const bindcheckFixture = `package client
+import (
+	"crve/internal/nodespec"
+	"crve/internal/rtl"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+func elaborate() {
+	sm := sim.New()
+	root := sm.Root()
+	p32 := stbus.PortConfig{Type: stbus.Type3, DataBits: 32}.WithDefaults()
+	p64 := stbus.PortConfig{Type: stbus.Type3, DataBits: 64}.WithDefaults()
+	node, _ := rtl.NewNode(root, nodespec.Config{Name: "n", Port: p32, NumInit: 2, NumTgt: 2}.WithDefaults())
+	cpu := stbus.NewPort(root, "cpu", p64)
+	stbus.Bind(sm, cpu, node.Init[0]) // line 15: data_bits 64 vs 32
+	conv, _ := rtl.NewSizeConverter(root, "sz", p64, 32)
+	stbus.Bind(sm, stbus.NewPort(root, "dsp", p64), conv.Up) // clean: both 64
+	stbus.Bind(sm, conv.Down, node.Init[1])                  // clean: both 32
+	mem, _ := rtl.NewMemory(root, rtl.MemoryConfig{Name: "m", Port: p32, Base: 0, Size: 4096})
+	stbus.Bind(sm, node.Tgt[0], mem.Port) // clean
+	p32t2 := p32
+	p32t2.Type = stbus.Type2
+	regs, _ := rtl.NewRegDecoder(root, rtl.RegDecoderConfig{Name: "r", Port: p32t2, Base: 0, NumRegs: 8})
+	stbus.Bind(sm, node.Tgt[1], regs.Port) // line 24: type T3 vs T2
+}
+`
+
+func TestBindcheckFlagsMismatchedBinds(t *testing.T) {
+	got := runOn(t, Bindcheck, "client.go", bindcheckFixture)
+	if len(got) != 2 {
+		t.Fatalf("want exactly 2 findings, got %d: %v", len(got), got)
+	}
+	if !strings.HasPrefix(got[0], "15: ") || !strings.Contains(got[0], "data_bits 64 vs 32") {
+		t.Errorf("finding 0 should be the width mismatch on line 15: %v", got[0])
+	}
+	if !strings.HasPrefix(got[1], "24: ") || !strings.Contains(got[1], "type T3 vs T2") {
+		t.Errorf("finding 1 should be the type mismatch on line 24: %v", got[1])
+	}
+	for _, msg := range got {
+		if !strings.Contains(msg, "panics at elaboration") {
+			t.Errorf("message should say why this matters: %v", msg)
+		}
+	}
+}
+
+func TestBindcheckSkipsTestFiles(t *testing.T) {
+	if got := runOn(t, Bindcheck, "client_test.go", bindcheckFixture); len(got) != 0 {
+		t.Fatalf("bindcheck must not fire in _test.go files (they exercise the panic path), got %v", got)
+	}
+}
+
+func TestBindcheckTracksConvertersAndCopies(t *testing.T) {
+	src := `package client
+import (
+	"crve/internal/rtl"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+func elaborate(sm *sim.Simulator, root sim.Scope) {
+	p32 := stbus.PortConfig{Type: stbus.Type3, DataBits: 32}
+	ty, _ := rtl.NewTypeConverter(root, "ty", p32, stbus.Type2)
+	down := ty.Down // copied port reference keeps its bundle
+	stbus.Bind(sm, down, stbus.NewPort(root, "t3", p32)) // line 11: type T2 vs T3
+	full, _ := rtl.NewConverter(root, rtl.ConverterConfig{
+		Name: "c",
+		Up:   stbus.PortConfig{Type: stbus.Type3, DataBits: 64},
+		Down: p32,
+	})
+	stbus.Bind(sm, full.Up, stbus.NewPort(root, "u64", stbus.PortConfig{Type: stbus.Type3, DataBits: 64})) // clean
+	stbus.Bind(sm, full.Down, stbus.NewPort(root, "big", stbus.PortConfig{
+		Type: stbus.Type3, DataBits: 32, Endian: stbus.BigEndian,
+	})) // line 18: endian little vs big
+}
+`
+	got := runOn(t, Bindcheck, "client.go", src)
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %d: %v", len(got), got)
+	}
+	if !strings.HasPrefix(got[0], "11: ") || !strings.Contains(got[0], "type T2 vs T3") {
+		t.Errorf("finding 0 should be the converter-down type mismatch: %v", got[0])
+	}
+	if !strings.HasPrefix(got[1], "18: ") || !strings.Contains(got[1], "endian little vs big") {
+		t.Errorf("finding 1 should be the endian mismatch: %v", got[1])
+	}
+}
+
+func TestBindcheckStaysSilentWhenProvenanceIsUnknown(t *testing.T) {
+	src := `package client
+import (
+	"crve/internal/sim"
+	"crve/internal/stbus"
+)
+func width() int { return 64 }
+func elaborate(sm *sim.Simulator, root sim.Scope, ext *stbus.Port) {
+	p32 := stbus.PortConfig{Type: stbus.Type3, DataBits: 32}
+	wide := stbus.PortConfig{Type: stbus.Type3, DataBits: width()} // non-constant field
+	stbus.Bind(sm, stbus.NewPort(root, "a", wide), stbus.NewPort(root, "b", p32))
+	stbus.Bind(sm, ext, stbus.NewPort(root, "c", p32)) // parameter: unknown
+	q := p32
+	q = mystery()
+	stbus.Bind(sm, stbus.NewPort(root, "d", q), stbus.NewPort(root, "e", p32)) // reassigned: unknown
+}
+func mystery() stbus.PortConfig { return stbus.PortConfig{} }
+`
+	if got := runOn(t, Bindcheck, "client.go", src); len(got) != 0 {
+		t.Fatalf("unknown provenance must never be reported, got %v", got)
+	}
+}
+
 func TestAnalyzersAreRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range Analyzers() {
@@ -297,7 +474,7 @@ func TestAnalyzersAreRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	if !names["configliteral"] || !names["portwidth"] || !names["signalread"] {
+	if !names["configliteral"] || !names["portwidth"] || !names["signalread"] || !names["bindcheck"] {
 		t.Errorf("expected analyzers missing: %v", names)
 	}
 }

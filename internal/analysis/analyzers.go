@@ -14,12 +14,14 @@ const (
 	nodespecPath = "crve/internal/nodespec"
 	stbusPath    = "crve/internal/stbus"
 	simPath      = "crve/internal/sim"
+	rtlPath      = "crve/internal/rtl"
+	bcaPath      = "crve/internal/bca"
 )
 
 // Analyzers returns every repo-invariant analyzer, in stable order. This is
 // the set cmd/crvevet serves to `go vet -vettool`.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ConfigLiteral, PortWidth, SignalRead}
+	return []*Analyzer{Bindcheck, ConfigLiteral, PortWidth, SignalRead}
 }
 
 // ConfigLiteral flags a nodespec.Config composite literal passed directly

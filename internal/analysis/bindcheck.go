@@ -1,0 +1,443 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"crve/internal/stbus"
+)
+
+// Bindcheck flags stbus.Bind call sites whose two ports provably carry
+// mismatched configurations. Bind panics at elaboration when the bundles
+// differ; this analyzer moves that discovery to vet time by tracking
+// PortConfig provenance through the idiomatic construction patterns:
+//
+//   - stbus.PortConfig composite literals with constant fields, copies of
+//     such values, constant single-field rewrites and WithDefaults calls;
+//   - stbus.NewPort, whose third argument fixes the bundle configuration;
+//   - rtl.NewNode / bca.NewNode, whose config's Port field fixes every
+//     Init[i] and Tgt[i] bundle;
+//   - rtl.NewConverter / NewSizeConverter / NewTypeConverter, which fix the
+//     Up and Down bundles (the size/type variants derive Down from Up);
+//   - rtl.NewMemory / rtl.NewRegDecoder, whose config's Port field fixes
+//     the endpoint bundle.
+//
+// The interpretation is deliberately conservative: any construction or
+// assignment it cannot resolve to constants marks the value unknown, and a
+// Bind is reported only when BOTH sides are fully known and differ. It runs
+// per function body in statement order with no control-flow joins, so a
+// variable reassigned on a branch keeps the last value seen textually —
+// elaboration code is straight-line in practice. _test.go files are exempt:
+// tests bind mismatched ports on purpose to exercise the panic path.
+var Bindcheck = &Analyzer{
+	Name: "bindcheck",
+	Doc:  "report stbus.Bind calls joining ports with provably mismatched configurations",
+	Run:  runBindcheck,
+}
+
+func runBindcheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Package).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bc := &bindChecker{
+				pass:  pass,
+				cfgs:  map[types.Object]absCfg{},
+				comps: map[types.Object]compOrigin{},
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					bc.assign(n)
+				case *ast.CallExpr:
+					bc.checkBindCall(n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// absCfg is the abstract value of one stbus.PortConfig: either a fully
+// concrete configuration or unknown. Partial knowledge is not tracked — a
+// single unresolvable field poisons the whole value, which keeps the
+// analyzer free of false positives.
+type absCfg struct {
+	cfg   stbus.PortConfig
+	known bool
+}
+
+type compKind int
+
+const (
+	compPort     compKind = iota // a bare *stbus.Port; cfg in a
+	compConv                     // a converter; Up in a, Down in b
+	compNode                     // a node; the shared port cfg in a
+	compEndpoint                 // memory or register decoder; Port cfg in a
+)
+
+// compOrigin records which constructor produced a component variable and
+// the abstract configurations of the port bundles it exposes.
+type compOrigin struct {
+	kind compKind
+	a, b absCfg
+}
+
+// bindChecker is the per-function abstract interpreter.
+type bindChecker struct {
+	pass  *Pass
+	cfgs  map[types.Object]absCfg     // stbus.PortConfig variables
+	comps map[types.Object]compOrigin // *stbus.Port and component variables
+}
+
+// assign updates the environment for one assignment statement.
+func (bc *bindChecker) assign(n *ast.AssignStmt) {
+	// Field write: x.Field = v on a tracked PortConfig variable.
+	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+		if sel, ok := n.Lhs[0].(*ast.SelectorExpr); ok {
+			bc.fieldWrite(sel, n.Rhs[0])
+			return
+		}
+	}
+	// Multi-value: comp, err := rtl.NewNode(...). The first variable gets
+	// the component origin.
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		bc.bindLhs(n.Lhs[0], n.Rhs[0])
+		for _, l := range n.Lhs[1:] {
+			bc.invalidate(l)
+		}
+		return
+	}
+	if len(n.Lhs) == len(n.Rhs) {
+		for i := range n.Lhs {
+			bc.bindLhs(n.Lhs[i], n.Rhs[i])
+		}
+	}
+}
+
+// bindLhs records what rhs means for the variable lhs names, or forgets the
+// variable when the value cannot be resolved.
+func (bc *bindChecker) bindLhs(lhs, rhs ast.Expr) {
+	obj := bc.lhsObj(lhs)
+	if obj == nil {
+		return
+	}
+	if isNamed(obj.Type(), stbusPath, "PortConfig") {
+		c := bc.evalCfg(rhs) // evaluate before overwriting: p = p.WithDefaults()
+		delete(bc.comps, obj)
+		bc.cfgs[obj] = c
+		return
+	}
+	org, ok := bc.evalComponent(rhs)
+	delete(bc.cfgs, obj)
+	delete(bc.comps, obj)
+	if ok {
+		bc.comps[obj] = org
+	}
+}
+
+// fieldWrite handles x.Field = v: a constant write to a field of a tracked
+// PortConfig keeps the value concrete, anything else poisons it. Writes
+// through component selectors invalidate the component.
+func (bc *bindChecker) fieldWrite(sel *ast.SelectorExpr, rhs ast.Expr) {
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := bc.pass.TypesInfo.Uses[base]
+	if obj == nil {
+		return
+	}
+	if cur, ok := bc.cfgs[obj]; ok {
+		v, vok := bc.constInt(rhs)
+		if !vok || !setCfgField(&cur.cfg, sel.Sel.Name, v) {
+			cur.known = false
+		}
+		bc.cfgs[obj] = cur
+		return
+	}
+	delete(bc.comps, obj)
+}
+
+// invalidate forgets everything known about the variable lhs names.
+func (bc *bindChecker) invalidate(lhs ast.Expr) {
+	if obj := bc.lhsObj(lhs); obj != nil {
+		delete(bc.cfgs, obj)
+		delete(bc.comps, obj)
+	}
+}
+
+// lhsObj resolves the object an assignment target names (both = and :=).
+func (bc *bindChecker) lhsObj(lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := bc.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return bc.pass.TypesInfo.Uses[id]
+}
+
+// checkBindCall reports a diagnostic when both arguments of an stbus.Bind
+// call resolve to concrete, differing port configurations.
+func (bc *bindChecker) checkBindCall(call *ast.CallExpr) {
+	if !bc.calleeIs(call, stbusPath, "Bind") || len(call.Args) != 3 {
+		return
+	}
+	a := bc.evalPort(call.Args[1])
+	b := bc.evalPort(call.Args[2])
+	if !a.known || !b.known {
+		return
+	}
+	ca, cb := a.cfg.WithDefaults(), b.cfg.WithDefaults()
+	if ca == cb {
+		return
+	}
+	bc.pass.Reportf(call.Pos(),
+		"stbus.Bind joins ports with provably mismatched configurations (%s): this panics at elaboration",
+		strings.Join(ca.Diff(cb), ", "))
+}
+
+// evalPort resolves an expression of type *stbus.Port to the abstract
+// configuration of the bundle it denotes.
+func (bc *bindChecker) evalPort(e ast.Expr) absCfg {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if org, ok := bc.comps[bc.pass.TypesInfo.Uses[e]]; ok && org.kind == compPort {
+			return org.a
+		}
+	case *ast.SelectorExpr:
+		base, ok := e.X.(*ast.Ident)
+		if !ok {
+			return absCfg{}
+		}
+		org, ok := bc.comps[bc.pass.TypesInfo.Uses[base]]
+		if !ok {
+			return absCfg{}
+		}
+		switch {
+		case org.kind == compConv && e.Sel.Name == "Up":
+			return org.a
+		case org.kind == compConv && e.Sel.Name == "Down":
+			return org.b
+		case org.kind == compEndpoint && e.Sel.Name == "Port":
+			return org.a
+		}
+	case *ast.IndexExpr:
+		// node.Init[i] / node.Tgt[i]: every port of a node carries the
+		// node's single configuration, so the index is irrelevant.
+		sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Init" && sel.Sel.Name != "Tgt") {
+			return absCfg{}
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return absCfg{}
+		}
+		if org, ok := bc.comps[bc.pass.TypesInfo.Uses[base]]; ok && org.kind == compNode {
+			return org.a
+		}
+	case *ast.CallExpr:
+		if org, ok := bc.evalComponent(e); ok && org.kind == compPort {
+			return org.a
+		}
+	}
+	return absCfg{}
+}
+
+// evalComponent resolves a constructor call (or a plain port expression) to
+// the component origin it produces.
+func (bc *bindChecker) evalComponent(e ast.Expr) (compOrigin, bool) {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		// up := szConv.Up and friends: a copied port keeps its bundle.
+		if t := bc.exprType(e); t != nil && isPortPtr(t) {
+			return compOrigin{kind: compPort, a: bc.evalPort(e)}, true
+		}
+		return compOrigin{}, false
+	}
+	switch {
+	case bc.calleeIs(call, stbusPath, "NewPort") && len(call.Args) == 3:
+		return compOrigin{kind: compPort, a: bc.evalCfg(call.Args[2])}, true
+	case bc.calleeIs(call, rtlPath, "NewSizeConverter") && len(call.Args) == 4:
+		up := bc.evalCfg(call.Args[2])
+		down := up
+		if v, ok := bc.constInt(call.Args[3]); ok {
+			down.cfg.DataBits = int(v)
+		} else {
+			down.known = false
+		}
+		return compOrigin{kind: compConv, a: up, b: down}, true
+	case bc.calleeIs(call, rtlPath, "NewTypeConverter") && len(call.Args) == 4:
+		up := bc.evalCfg(call.Args[2])
+		down := up
+		if v, ok := bc.constInt(call.Args[3]); ok {
+			down.cfg.Type = stbus.Type(v)
+		} else {
+			down.known = false
+		}
+		return compOrigin{kind: compConv, a: up, b: down}, true
+	case bc.calleeIs(call, rtlPath, "NewConverter") && len(call.Args) == 2:
+		lit, ok := configLiteral(call.Args[1])
+		if !ok {
+			return compOrigin{kind: compConv}, true
+		}
+		return compOrigin{
+			kind: compConv,
+			a:    bc.evalCfg(fieldValue(lit, "Up", 1)),
+			b:    bc.evalCfg(fieldValue(lit, "Down", 2)),
+		}, true
+	case (bc.calleeIs(call, rtlPath, "NewNode") || bc.calleeIs(call, bcaPath, "NewNode")) && len(call.Args) >= 2:
+		return compOrigin{kind: compNode, a: bc.cfgField(call.Args[1], "Port", 1)}, true
+	case bc.calleeIs(call, rtlPath, "NewMemory") && len(call.Args) == 2:
+		return compOrigin{kind: compEndpoint, a: bc.cfgField(call.Args[1], "Port", 1)}, true
+	case bc.calleeIs(call, rtlPath, "NewRegDecoder") && len(call.Args) == 2:
+		return compOrigin{kind: compEndpoint, a: bc.cfgField(call.Args[1], "Port", 1)}, true
+	}
+	return compOrigin{}, false
+}
+
+// evalCfg resolves an expression of type stbus.PortConfig to an abstract
+// value; anything it cannot prove constant comes back unknown.
+func (bc *bindChecker) evalCfg(e ast.Expr) absCfg {
+	if e == nil {
+		return absCfg{}
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := bc.cfgs[bc.pass.TypesInfo.Uses[e]]; ok {
+			return c
+		}
+	case *ast.CompositeLit:
+		if !isNamed(bc.exprType(e), stbusPath, "PortConfig") {
+			return absCfg{}
+		}
+		out := absCfg{known: true}
+		for i, elt := range e.Elts {
+			name, value := "", elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					return absCfg{}
+				}
+				name, value = key.Name, kv.Value
+			} else {
+				name = [...]string{"Type", "DataBits", "AddrBits", "Endian"}[i]
+			}
+			v, ok := bc.constInt(value)
+			if !ok || !setCfgField(&out.cfg, name, v) {
+				return absCfg{}
+			}
+		}
+		return out
+	case *ast.CallExpr:
+		// cfg.WithDefaults(): defaults are reapplied at comparison time,
+		// so the call is transparent here.
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "WithDefaults" &&
+			isNamed(bc.exprType(sel.X), stbusPath, "PortConfig") && len(e.Args) == 0 {
+			return bc.evalCfg(sel.X)
+		}
+	}
+	return absCfg{}
+}
+
+// cfgField extracts a PortConfig-valued field from a config composite
+// literal argument (unwrapping a trailing WithDefaults call).
+func (bc *bindChecker) cfgField(arg ast.Expr, name string, pos int) absCfg {
+	lit, ok := configLiteral(arg)
+	if !ok {
+		return absCfg{}
+	}
+	return bc.evalCfg(fieldValue(lit, name, pos))
+}
+
+// configLiteral unwraps `Config{...}` or `Config{...}.WithDefaults()`.
+func configLiteral(e ast.Expr) (*ast.CompositeLit, bool) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 0 {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "WithDefaults" {
+			e = ast.Unparen(sel.X)
+		}
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	return lit, ok
+}
+
+// fieldValue returns the value of the named field in a composite literal,
+// accepting the positional form at index pos. nil means absent.
+func fieldValue(lit *ast.CompositeLit, name string, pos int) ast.Expr {
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == name {
+				return kv.Value
+			}
+			continue
+		}
+		if i == pos {
+			return elt
+		}
+	}
+	return nil
+}
+
+// setCfgField writes an int64 into the named PortConfig field; false means
+// the name is not a PortConfig field.
+func setCfgField(cfg *stbus.PortConfig, name string, v int64) bool {
+	switch name {
+	case "Type":
+		cfg.Type = stbus.Type(v)
+	case "DataBits":
+		cfg.DataBits = int(v)
+	case "AddrBits":
+		cfg.AddrBits = int(v)
+	case "Endian":
+		cfg.Endian = stbus.Endianness(v)
+	default:
+		return false
+	}
+	return true
+}
+
+// constInt evaluates an expression to an integer constant.
+func (bc *bindChecker) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := bc.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// calleeIs reports whether the call invokes the package-level function
+// pkgPath.name.
+func (bc *bindChecker) calleeIs(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := bc.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// exprType returns the static type of an expression, or nil.
+func (bc *bindChecker) exprType(e ast.Expr) types.Type {
+	return bc.pass.TypesInfo.Types[e].Type
+}
+
+// isPortPtr reports whether t is *stbus.Port.
+func isPortPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isNamed(p.Elem(), stbusPath, "Port")
+}

@@ -1,0 +1,464 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crve/internal/lint"
+)
+
+// Check analyzes the elaborated topology as a whole and returns the full
+// report: the parse/elaboration diagnostics, the per-configuration lint of
+// every referenced config, and the fabric-level rules CRVE018–CRVE023.
+func (t *Topology) Check() *lint.Report {
+	r := &lint.Report{}
+	r.Diags = append(r.Diags, t.Diags...)
+
+	// Per-config lint of every referenced configuration, once per file. A
+	// config that lints with errors demotes its nodes to CfgOK=false: the
+	// address-window math below would only cascade on a broken map.
+	badCfg := map[string]bool{}
+	for _, src := range t.Configs {
+		cr := lint.Check(src)
+		r.Diags = append(r.Diags, cr.Diags...)
+		if cr.HasErrors() {
+			badCfg[src.File] = true
+		}
+	}
+	for _, in := range t.Insts {
+		if in.Kind == KindNode && badCfg[in.CfgFile] {
+			in.CfgOK = false
+		}
+	}
+
+	valid := t.checkBinds(r)
+	t.checkDangling(r)
+	t.checkSrcRange(r)
+	// Cycle-free is the precondition for the window walks: on a cyclic graph
+	// the recursion below would not terminate, and reachability through a
+	// combinational loop is meaningless anyway.
+	if t.checkCycles(r, valid) {
+		t.checkServed(r)
+		t.checkReach(r)
+	}
+	r.Sort()
+	return r
+}
+
+// checkBinds validates every edge — role direction, single-binding, port
+// configuration compatibility (CRVE018/CRVE021) — plus each converter's own
+// up/down address-width coupling, and returns the structurally usable edges.
+func (t *Topology) checkBinds(r *lint.Report) []*Bind {
+	var valid []*Bind
+	for _, b := range t.Binds {
+		pos := lint.Position{File: t.File, Line: b.Line}
+		if b.From.Role != RoleInit || b.To.Role != RoleTgt {
+			bad := b.From
+			if b.From.Role == RoleInit {
+				bad = b.To
+			}
+			r.Addf(pos, lint.CodeFabricDangling, lint.Error,
+				"bind %s -> %s: %s is a %v port (requests must flow from a request-driving port into a request-receiving one)",
+				b.From.Path(), b.To.Path(), bad.Path(), bad.Role)
+			continue
+		}
+		double := false
+		for _, p := range []*Port{b.From, b.To} {
+			if p.Bound != nil {
+				r.Addf(pos, lint.CodeFabricDangling, lint.Error,
+					"port %s is already bound on line %d: a bundle drives exactly one bind edge",
+					p.Path(), p.Bound.Line)
+				double = true
+			}
+		}
+		if double {
+			continue
+		}
+		b.From.Bound, b.To.Bound = b, b
+		valid = append(valid, b)
+		if b.From.Cfg != b.To.Cfg {
+			r.Addf(pos, lint.CodeBindMismatch, lint.Error,
+				"bind %s (%v) -> %s (%v): port configurations differ: %s",
+				b.From.Path(), b.From.Cfg, b.To.Path(), b.To.Cfg,
+				strings.Join(b.From.Cfg.Diff(b.To.Cfg), ", "))
+		}
+	}
+	for _, in := range t.Insts {
+		if in.Kind == KindConv && in.Up.AddrBits != in.Down.AddrBits {
+			r.Addf(lint.Position{File: t.File, Line: in.Line}, lint.CodeBindMismatch, lint.Error,
+				"converter %s translates width and protocol but not addresses: up/down address widths differ (%d vs %d)",
+				in.Name, in.Up.AddrBits, in.Down.AddrBits)
+		}
+	}
+	return valid
+}
+
+// checkDangling reports every port bundle that ended up in no bind edge.
+func (t *Topology) checkDangling(r *lint.Report) {
+	for _, in := range t.Insts {
+		for _, p := range in.Ports {
+			if p.Bound == nil {
+				r.Addf(lint.Position{File: t.File, Line: in.Line}, lint.CodeFabricDangling, lint.Error,
+					"port %s is dangling: the bundle is bound to nothing", p.Path())
+			}
+		}
+	}
+}
+
+// checkSrcRange reports initiators whose source ID cannot be driven on the
+// 8-bit src wires.
+func (t *Topology) checkSrcRange(r *lint.Report) {
+	for _, in := range t.Insts {
+		if in.Kind == KindInit && (in.Src < 0 || in.Src > 255) {
+			r.Addf(lint.Position{File: t.File, Line: in.Line}, lint.CodeFabricSrcID, lint.Error,
+				"initiator %s source ID %d does not fit the 8-bit src field", in.Name, in.Src)
+		}
+	}
+}
+
+// checkCycles detects cycles in the instance digraph induced by the bind
+// edges (requests flow From -> To). The gnt/r_gnt chains of bound components
+// are combinational, so any topological loop is a combinational cycle
+// regardless of address routing. Returns whether the graph is acyclic.
+func (t *Topology) checkCycles(r *lint.Report, valid []*Bind) bool {
+	adj := map[*Instance][]*Bind{}
+	for _, b := range valid {
+		adj[b.From.Inst] = append(adj[b.From.Inst], b)
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := map[*Instance]int{}
+	acyclic := true
+	var stack []*Instance
+	var dfs func(in *Instance)
+	dfs = func(in *Instance) {
+		color[in] = gray
+		stack = append(stack, in)
+		for _, b := range adj[in] {
+			switch v := b.To.Inst; color[v] {
+			case white:
+				dfs(v)
+			case gray:
+				acyclic = false
+				start := 0
+				for i, s := range stack {
+					if s == v {
+						start = i
+						break
+					}
+				}
+				names := make([]string, 0, len(stack)-start+1)
+				for _, s := range stack[start:] {
+					names = append(names, s.Name)
+				}
+				names = append(names, v.Name)
+				r.Addf(lint.Position{File: t.File, Line: b.Line}, lint.CodeFabricCycle, lint.Error,
+					"combinational cycle in the bind graph: %s", strings.Join(names, " -> "))
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[in] = black
+	}
+	for _, in := range t.Insts {
+		if color[in] == white {
+			dfs(in)
+		}
+	}
+	return acyclic
+}
+
+// window is an inclusive address interval [lo, hi]; the inclusive form
+// avoids 2^64 overflow for full 64-bit spaces.
+type window struct{ lo, hi uint64 }
+
+func (w window) String() string { return fmt.Sprintf("%#x..%#x", w.lo, w.hi) }
+
+// winFrom builds the window of a base:size range, clamping a wrap past the
+// 64-bit space (the per-config lint already errors on wrapping regions).
+func winFrom(base, size uint64) (window, bool) {
+	if size == 0 {
+		return window{}, false
+	}
+	if end := base + size; end > base {
+		return window{base, end - 1}, true
+	}
+	return window{base, ^uint64(0)}, true
+}
+
+// fullWindow is the entire address space of an addrBits-wide port.
+func fullWindow(addrBits int) window {
+	if addrBits >= 64 {
+		return window{0, ^uint64(0)}
+	}
+	return window{0, uint64(1)<<addrBits - 1}
+}
+
+func intersect(a, b window) (window, bool) {
+	lo, hi := max(a.lo, b.lo), min(a.hi, b.hi)
+	if lo > hi {
+		return window{}, false
+	}
+	return window{lo, hi}, true
+}
+
+// normalize sorts and merges overlapping or adjacent windows.
+func normalize(ws []window) []window {
+	if len(ws) == 0 {
+		return nil
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].lo < ws[j].lo })
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		last := &out[len(out)-1]
+		if last.hi == ^uint64(0) || w.lo <= last.hi+1 {
+			last.hi = max(last.hi, w.hi)
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// subtract returns the parts of target not covered by the normalized served
+// set.
+func subtract(target window, served []window) []window {
+	var gaps []window
+	lo := target.lo
+	for _, s := range served {
+		if s.hi < target.lo || s.lo > target.hi {
+			continue
+		}
+		if s.lo > lo {
+			gaps = append(gaps, window{lo, s.lo - 1})
+		}
+		if s.hi == ^uint64(0) || s.hi+1 > target.hi {
+			return gaps
+		}
+		lo = max(lo, s.hi+1)
+	}
+	if lo <= target.hi {
+		gaps = append(gaps, window{lo, target.hi})
+	}
+	return gaps
+}
+
+func fmtWindows(ws []window) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = w.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// serve computes which parts of win the fabric hanging below target-role
+// port p actually answers: endpoints clip to their own range, converters
+// pass through, nodes route per address-map region (respecting the partial
+// crossbar as seen from the arrival port) and serve their programming
+// window internally. A node whose config lints with errors optimistically
+// serves everything — its map is already diagnosed and would only cascade.
+func serve(p *Port, win window) []window {
+	in := p.Inst
+	switch in.Kind {
+	case KindMem, KindRegDec:
+		if w, ok := winFrom(in.Base, in.Size); ok {
+			if hit, ok := intersect(win, w); ok {
+				return []window{hit}
+			}
+		}
+		return nil
+	case KindConv:
+		down := in.PortByName("down")
+		if down == nil || down.Bound == nil {
+			return nil
+		}
+		return serve(down.Bound.To, win)
+	case KindNode:
+		if !in.CfgOK {
+			return []window{win}
+		}
+		var out []window
+		cfg := in.Cfg
+		for _, reg := range cfg.Map {
+			rw, ok := winFrom(reg.Base, reg.Size)
+			if !ok {
+				continue
+			}
+			hit, ok := intersect(win, rw)
+			if !ok || !cfg.Connected(p.Idx, reg.Target) {
+				continue
+			}
+			tp := in.PortByName(fmt.Sprintf("tgt%d", reg.Target))
+			if tp == nil || tp.Bound == nil {
+				continue
+			}
+			out = append(out, serve(tp.Bound.To, hit)...)
+		}
+		if cfg.ProgPort {
+			if pw, ok := winFrom(cfg.ProgBase, uint64(4*cfg.NumInit)); ok {
+				if hit, ok := intersect(win, pw); ok {
+					out = append(out, hit)
+				}
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// checkServed verifies, node by node, that every address-map region is
+// actually answered by the fabric downstream of its target port: a region
+// none of which is served is black-holed (CRVE019), a region only part of
+// which is served is shadowed (CRVE020). The check is initiator-independent,
+// so it fires even for windows no current initiator happens to address.
+func (t *Topology) checkServed(r *lint.Report) {
+	for _, in := range t.Insts {
+		if in.Kind != KindNode || !in.CfgOK {
+			continue
+		}
+		pos := lint.Position{File: t.File, Line: in.Line}
+		for _, reg := range in.Cfg.Map {
+			rw, ok := winFrom(reg.Base, reg.Size)
+			if !ok {
+				continue
+			}
+			tp := in.PortByName(fmt.Sprintf("tgt%d", reg.Target))
+			if tp == nil || tp.Bound == nil {
+				continue // the dangling port is already CRVE021
+			}
+			served := normalize(serve(tp.Bound.To, rw))
+			if len(served) == 0 {
+				r.Addf(pos, lint.CodeFabricUnreachable, lint.Error,
+					"node %s map region %s (-> tgt%d) is black-holed: nothing downstream serves any of it",
+					in.Name, rw, reg.Target)
+				continue
+			}
+			if gaps := subtract(rw, served); len(gaps) > 0 {
+				r.Addf(pos, lint.CodeFabricShadow, lint.Warning,
+					"node %s map region %s (-> tgt%d) is only partially served downstream: %s unserved",
+					in.Name, rw, reg.Target, fmtWindows(gaps))
+			}
+		}
+	}
+}
+
+// checkReach walks the fabric from every external initiator, marking which
+// (node, region) pairs its requests can touch given the crossbar matrices
+// along the way, and which node initiator-ports it arrives through. Regions
+// no initiator touches are CRVE019; two initiators (or one initiator via two
+// different arrival ports) presenting the same source ID at one node are
+// CRVE022 — the node's learned src->port response routing cannot tell their
+// responses apart.
+func (t *Topology) checkReach(r *lint.Report) {
+	touched := map[*Instance]map[int]bool{}
+	visits := map[*Instance]map[int]map[*Instance]bool{}
+	type memoKey struct {
+		p   *Port
+		ext *Instance
+		win window
+	}
+	seen := map[memoKey]bool{}
+
+	var walk func(p *Port, win window, ext *Instance)
+	walk = func(p *Port, win window, ext *Instance) {
+		key := memoKey{p, ext, win}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		in := p.Inst
+		switch in.Kind {
+		case KindConv:
+			down := in.PortByName("down")
+			if down != nil && down.Bound != nil {
+				walk(down.Bound.To, win, ext)
+			}
+		case KindNode:
+			if visits[in] == nil {
+				visits[in] = map[int]map[*Instance]bool{}
+			}
+			if visits[in][p.Idx] == nil {
+				visits[in][p.Idx] = map[*Instance]bool{}
+			}
+			visits[in][p.Idx][ext] = true
+			if !in.CfgOK {
+				return
+			}
+			if touched[in] == nil {
+				touched[in] = map[int]bool{}
+			}
+			for ri, reg := range in.Cfg.Map {
+				rw, ok := winFrom(reg.Base, reg.Size)
+				if !ok {
+					continue
+				}
+				hit, ok := intersect(win, rw)
+				if !ok || !in.Cfg.Connected(p.Idx, reg.Target) {
+					continue
+				}
+				touched[in][ri] = true
+				tp := in.PortByName(fmt.Sprintf("tgt%d", reg.Target))
+				if tp != nil && tp.Bound != nil {
+					walk(tp.Bound.To, hit, ext)
+				}
+			}
+		}
+	}
+	for _, in := range t.Insts {
+		if in.Kind != KindInit || in.Ports[0].Bound == nil {
+			continue
+		}
+		walk(in.Ports[0].Bound.To, fullWindow(in.Port.AddrBits), in)
+	}
+
+	for _, in := range t.Insts {
+		if in.Kind != KindNode || !in.CfgOK {
+			continue
+		}
+		pos := lint.Position{File: t.File, Line: in.Line}
+		for ri, reg := range in.Cfg.Map {
+			rw, ok := winFrom(reg.Base, reg.Size)
+			if ok && !touched[in][ri] {
+				r.Addf(pos, lint.CodeFabricUnreachable, lint.Error,
+					"node %s map region %s (-> tgt%d) is reachable by no external initiator",
+					in.Name, rw, reg.Target)
+			}
+		}
+
+		// Source-ID convergence: group the external initiators arriving at
+		// this node by the source ID they present; the same ID through two
+		// different arrival ports is ambiguous on the return path.
+		type arrival struct {
+			port int
+			ext  *Instance
+		}
+		bySrc := map[int][]arrival{}
+		for port := 0; port < in.Cfg.NumInit; port++ {
+			for _, ext := range t.Insts { // declaration order, deterministic
+				if ext.Kind == KindInit && visits[in][port][ext] {
+					bySrc[ext.Src] = append(bySrc[ext.Src], arrival{port, ext})
+				}
+			}
+		}
+		srcs := make([]int, 0, len(bySrc))
+		for s := range bySrc {
+			srcs = append(srcs, s)
+		}
+		sort.Ints(srcs)
+		for _, s := range srcs {
+			arr := bySrc[s]
+			for _, a := range arr[1:] {
+				if a.port != arr[0].port {
+					r.Addf(pos, lint.CodeFabricSrcID, lint.Error,
+						"source ID %d arrives at node %s through both init%d (from %s) and init%d (from %s): response routing is ambiguous",
+						s, in.Name, arr[0].port, arr[0].ext.Name, a.port, a.ext.Name)
+					break
+				}
+			}
+		}
+	}
+}

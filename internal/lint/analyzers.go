@@ -76,6 +76,12 @@ func Rules() []Rule {
 		{CodeDupName, Error, "duplicate configuration name in the lint set"},
 		{CodeDupSeed, Warning, "duplicate seed in the seed list"},
 		{CodeDeadBin, Warning, "coverage model declares a statically unreachable bin (full coverage impossible)"},
+		{CodeBindMismatch, Error, "bind edge joins two port bundles with differing configurations"},
+		{CodeFabricUnreachable, Error, "address window black-holed downstream or reachable by no initiator"},
+		{CodeFabricShadow, Warning, "address window only partially served across fabric hops"},
+		{CodeFabricDangling, Error, "port bundle dangling, doubly bound, or bound with the wrong role"},
+		{CodeFabricSrcID, Error, "source IDs collide or overflow on the return path"},
+		{CodeFabricCycle, Error, "combinational cycle in the bind graph"},
 	}
 }
 

@@ -95,6 +95,35 @@ const (
 	// functional coverage is statically impossible and coverage closure can
 	// never converge.
 	CodeDeadBin Code = "CRVE017"
+
+	// The CRVE018–CRVE023 codes are the fabric layer (internal/fabric): they
+	// judge a whole multi-node topology — configs plus a bind graph — rather
+	// than one configuration at a time.
+
+	// CodeBindMismatch — a bind edge (or a converter's own up/down pair)
+	// joins two port bundles whose configurations differ; stbus.Bind would
+	// panic at elaboration.
+	CodeBindMismatch Code = "CRVE018"
+	// CodeFabricUnreachable — an address window is dead across the fabric: a
+	// mapped region routes downstream to hardware that serves none of it
+	// (black hole), or no external initiator can reach it at all.
+	CodeFabricUnreachable Code = "CRVE019"
+	// CodeFabricShadow — an address window is only partially served across
+	// hops: the upstream node claims the whole region but the downstream
+	// fabric covers a subset, so part of the window silently error-responds.
+	CodeFabricShadow Code = "CRVE020"
+	// CodeFabricDangling — a port bundle is dangling (bound to nothing) or
+	// doubly driven (appears in more than one bind edge), or a bind edge
+	// connects two ports with the same drive direction.
+	CodeFabricDangling Code = "CRVE021"
+	// CodeFabricSrcID — the return path cannot distinguish responses: two
+	// initiators that converge on the same node present the same source ID,
+	// or a source ID does not fit the 8-bit src field.
+	CodeFabricSrcID Code = "CRVE022"
+	// CodeFabricCycle — the bind graph is cyclic. The gnt/r_gnt chains of
+	// bound nodes are combinational, so a topological loop is a combinational
+	// cycle that forces the levelized kernel back into SCC iteration.
+	CodeFabricCycle Code = "CRVE023"
 )
 
 // Severity classifies a diagnostic.

@@ -272,6 +272,7 @@ func FormatConfig(cfg nodespec.Config) string {
 	fmt.Fprintf(&sb, "name      = %s\n", cfg.Name)
 	fmt.Fprintf(&sb, "type      = t%d\n", int(cfg.Port.Type))
 	fmt.Fprintf(&sb, "data_bits = %d\n", cfg.Port.DataBits)
+	fmt.Fprintf(&sb, "addr_bits = %d\n", cfg.Port.AddrBits)
 	fmt.Fprintf(&sb, "endian    = %v\n", cfg.Port.Endian)
 	fmt.Fprintf(&sb, "num_init  = %d\n", cfg.NumInit)
 	fmt.Fprintf(&sb, "num_tgt   = %d\n", cfg.NumTgt)

@@ -1,0 +1,68 @@
+package regress
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFormatConfigFixpoint is the confidence prerequisite for crvelint -fix:
+// rewriting a configuration through the FormatConfig round trip must be a
+// fixpoint — parse(format(parse(x))) == parse(x), and a second format pass
+// changes zero bytes — for every parseable configuration shipped in the
+// repository, good and bad alike (configs/, configs/closure/, configs/bad/
+// and its fabric helpers). Files that do not parse are skipped: -fix never
+// rewrites those.
+func TestFormatConfigFixpoint(t *testing.T) {
+	root := filepath.Join("..", "..", "configs")
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".cfg") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 40 {
+		t.Fatalf("only %d corpus files found under %s", len(files), root)
+	}
+	parsed := 0
+	for _, path := range files {
+		rel, _ := filepath.Rel(root, path)
+		t.Run(filepath.ToSlash(rel), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			cfg, _, lineErrs := parseLines(f)
+			if len(lineErrs) > 0 {
+				t.Skipf("does not parse (%d line errors): -fix never rewrites it", len(lineErrs))
+			}
+			parsed++
+			cfg = cfg.WithDefaults()
+			text := FormatConfig(cfg)
+			back, _, backErrs := parseLines(strings.NewReader(text))
+			if len(backErrs) > 0 {
+				t.Fatalf("formatted config does not re-parse: %v\n%s", backErrs, text)
+			}
+			if got := back.WithDefaults(); !reflect.DeepEqual(got, cfg) {
+				t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, cfg)
+			}
+			if again := FormatConfig(back.WithDefaults()); again != text {
+				t.Errorf("format is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, again)
+			}
+		})
+	}
+	if parsed < 36 {
+		t.Errorf("only %d corpus files parsed: the fixpoint property barely exercised", parsed)
+	}
+}

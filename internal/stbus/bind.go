@@ -2,6 +2,7 @@ package stbus
 
 import (
 	"fmt"
+	"strings"
 
 	"crve/internal/sim"
 )
@@ -16,7 +17,9 @@ import (
 // interconnects like the paper's Figure 1.
 func Bind(sm *sim.Simulator, initSide, tgtSide *Port) {
 	if initSide.Cfg != tgtSide.Cfg {
-		panic(fmt.Sprintf("stbus: binding incompatible ports %v and %v", initSide.Cfg, tgtSide.Cfg))
+		panic(fmt.Sprintf("stbus: binding incompatible ports %s (%v) and %s (%v): %s",
+			initSide.Name, initSide.Cfg, tgtSide.Name, tgtSide.Cfg,
+			strings.Join(initSide.Cfg.Diff(tgtSide.Cfg), ", ")))
 	}
 	fwd := [][2]*sim.Signal{
 		{initSide.Req, tgtSide.Req}, {initSide.Opc, tgtSide.Opc}, {initSide.Add, tgtSide.Add},

@@ -1,0 +1,53 @@
+package stbus
+
+import (
+	"strings"
+	"testing"
+
+	"crve/internal/sim"
+)
+
+// TestBindPanicNamesPortsAndDiffsFields locks down the runtime escape hatch
+// of the static bindcheck analyzer: when a mismatched bind does reach
+// elaboration, the panic must name both ports and list the differing fields
+// so the failure is diagnosable without a debugger.
+func TestBindPanicNamesPortsAndDiffsFields(t *testing.T) {
+	sm := sim.New()
+	root := sim.Root(sm)
+	a := NewPort(root, "wide", PortConfig{Type: Type3, DataBits: 64})
+	b := NewPort(root, "narrow", PortConfig{Type: Type2, DataBits: 32})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Bind of incompatible ports did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		for _, want := range []string{"wide", "narrow", "type T3 vs T2", "data_bits 64 vs 32"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic message missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	Bind(sm, a, b)
+}
+
+func TestPortConfigDiff(t *testing.T) {
+	base := PortConfig{Type: Type3, DataBits: 32, AddrBits: 32, Endian: LittleEndian}
+	if d := base.Diff(base); len(d) != 0 {
+		t.Errorf("identical configs diff = %v, want empty", d)
+	}
+	other := PortConfig{Type: Type2, DataBits: 64, AddrBits: 40, Endian: BigEndian}
+	d := base.Diff(other)
+	if len(d) != 4 {
+		t.Fatalf("diff = %v, want 4 entries", d)
+	}
+	joined := strings.Join(d, ", ")
+	for _, want := range []string{"type T3 vs T2", "data_bits 32 vs 64", "addr_bits 32 vs 40", "endian little vs big"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff missing %q: %s", want, joined)
+		}
+	}
+}

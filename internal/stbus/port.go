@@ -51,6 +51,28 @@ func (c PortConfig) String() string {
 	return fmt.Sprintf("%v/%db/%v", c.Type, c.DataBits, c.Endian)
 }
 
+// Diff returns a human-readable entry per field where c and o differ, in
+// declaration order (e.g. "data_bits 64 vs 32"). An empty slice means the
+// configurations are identical. Bind's incompatibility panic and the fabric
+// linter's CRVE018 diagnostic both print this diff, so a mismatch reads the
+// same whether it is caught statically or escapes to elaboration.
+func (c PortConfig) Diff(o PortConfig) []string {
+	var d []string
+	if c.Type != o.Type {
+		d = append(d, fmt.Sprintf("type %v vs %v", c.Type, o.Type))
+	}
+	if c.DataBits != o.DataBits {
+		d = append(d, fmt.Sprintf("data_bits %d vs %d", c.DataBits, o.DataBits))
+	}
+	if c.AddrBits != o.AddrBits {
+		d = append(d, fmt.Sprintf("addr_bits %d vs %d", c.AddrBits, o.AddrBits))
+	}
+	if c.Endian != o.Endian {
+		d = append(d, fmt.Sprintf("endian %v vs %v", c.Endian, o.Endian))
+	}
+	return d
+}
+
 // Port is the signal bundle of one STBus interface: a request channel
 // (initiator drives req and the cell payload, target answers gnt) and a
 // response channel (target drives r_req and the response payload, initiator
