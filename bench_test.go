@@ -99,15 +99,17 @@ func BenchmarkE3CoverageEquality(b *testing.B) {
 	}
 }
 
-// BenchmarkE4Alignment measures the STBus Analyzer itself: parsing two VCD
-// dumps and computing per-port alignment rates.
+// BenchmarkE4Alignment measures the legacy STBus Analyzer round trip:
+// parsing two VCD dumps and computing per-port alignment rates. (The paired
+// flow no longer does this — see BenchmarkStreamingPair — so the dumps are
+// requested explicitly.)
 func BenchmarkE4Alignment(b *testing.B) {
 	cfg := refCfg()
 	tc, err := testcases.ByName("back_to_back")
 	if err != nil {
 		b.Fatal(err)
 	}
-	pair, err := core.RunPair(cfg, tc, 1, bca.Bugs{})
+	pair, err := core.RunPairOpt(cfg, tc, 1, core.RunOptions{DumpVCD: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -129,6 +131,40 @@ func BenchmarkE4Alignment(b *testing.B) {
 			b.Fatal("clean pair should align")
 		}
 	}
+}
+
+// benchPair runs one full sign-off pair (RTL run + BCA run + alignment) and
+// reports paired simulated cycles per second — the end-to-end unit the
+// streaming STBA rework targets.
+func benchPair(b *testing.B, opt core.RunOptions) {
+	cfg := refCfg()
+	tc, err := testcases.ByName("back_to_back")
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		pair, err := core.RunPairOpt(cfg, tc, 1, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pair.Alignment.MinRate() != 100 {
+			b.Fatal("clean pair should align")
+		}
+		total += pair.RTL.Cycles + pair.BCA.Cycles
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkStreamingPair measures the default paired flow: the online
+// observer compares per cycle against the RTL run's compact recording — no
+// VCD text is built and nothing is parsed back.
+func BenchmarkStreamingPair(b *testing.B) { benchPair(b, core.RunOptions{}) }
+
+// BenchmarkLegacyPair measures the retired round trip kept for ablation:
+// dump both runs to text VCD, parse both, then Compare.
+func BenchmarkLegacyPair(b *testing.B) {
+	benchPair(b, core.RunOptions{LegacyAlignment: true})
 }
 
 // benchViewThroughput runs a saturating test on one view and reports

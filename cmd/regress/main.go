@@ -1,21 +1,25 @@
 // Command regress is the batch regression tool of the flow (the paper's GUI
 // tool, CLI-ified): it loads node configurations from parameter files (or
 // generates the standard matrix), runs the generic test suite on both the
-// RTL and the BCA view with the same seeds, emits verification, coverage and
-// alignment reports, and optionally writes the VCD dumps used by the
-// bus-accurate comparison.
+// RTL and the BCA view with the same seeds, and emits verification, coverage
+// and alignment reports. The bus-accurate comparison streams online — no VCD
+// is written or parsed on the default path; -wave keeps compact binary
+// waveform recordings (.crw) as artifacts, and -legacy-align restores the
+// write-two-VCDs/parse/Compare round trip for ablation.
 //
 // Usage:
 //
 //	regress -matrix                    # run the >=36-configuration matrix
 //	regress -config ./configs          # run every .cfg file in a directory
 //	regress -config ./configs -tests basic_write_read,error_paths -seeds 1,2,3
-//	regress -matrix -quick -out ./out  # fast slice, write reports and VCDs
+//	regress -matrix -quick -out ./out  # fast slice, write reports
+//	regress -matrix -quick -out ./out -wave  # ...plus .crw waveform recordings
 //	regress -matrix -j 8 -cache ./rc   # 8 workers, incremental result cache
 //	regress -emit ./configs            # materialise the matrix as .cfg files
 //	regress -config ./configs -close   # close coverage holes with synthesized tests
 //	regress -matrix -quick -kernelstats # also print the kernel profile per config/view
 //	regress -config ./configs -fabric topo.fab  # also gate on a whole-fabric check
+//	regress -matrix -quick -legacy-align  # alignment via the legacy VCD round trip
 //
 // The report output is byte-identical at any -j width: work units fan out
 // across the pool but merge deterministically. With -cache, a re-run serves
@@ -66,6 +70,8 @@ type options struct {
 	budget      uint64
 	kernelstats bool
 	fabricArg   string
+	wave        bool
+	legacyAlign bool
 }
 
 func main() {
@@ -86,6 +92,8 @@ func main() {
 	flag.Uint64Var(&o.budget, "budget", 0, "with -close: closure cycle budget per configuration, both views (0 = unlimited)")
 	flag.BoolVar(&o.kernelstats, "kernelstats", false, "collect and print the simulation-kernel profile (deltas/cycle, settle depth, hottest processes)")
 	flag.StringVar(&o.fabricArg, "fabric", "", "comma-separated topology files (*.fab) the matrix must compose into; checked by the lint gate")
+	flag.BoolVar(&o.wave, "wave", false, "keep compact binary waveform recordings per run (written as .crw with -out)")
+	flag.BoolVar(&o.legacyAlign, "legacy-align", false, "compute alignment via the legacy VCD write/parse/Compare round trip (ablation baseline)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
@@ -183,7 +191,10 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "lint: %s — continuing because -nolint is set\n", rep.Summary())
 	}
 
-	opt := regress.Options{Tests: tests, Seeds: seeds, NoLint: true, Workers: o.jobs, KernelStats: o.kernelstats} // linted above
+	opt := regress.Options{
+		Tests: tests, Seeds: seeds, NoLint: true, Workers: o.jobs, // linted above
+		KernelStats: o.kernelstats, RecordWave: o.wave, LegacyAlignment: o.legacyAlign,
+	}
 	if o.verbose {
 		opt.Log = os.Stdout
 	}

@@ -1,17 +1,21 @@
-// Command stba is the STBus Analyzer CLI: it compares two VCD waveform
-// dumps (typically the RTL and BCA runs of the same test and seed) and
-// prints the per-port alignment table against the 99 % sign-off threshold.
-// It can also extract the STBus transaction stream observed at one port.
+// Command stba is the STBus Analyzer CLI: it compares two waveform dumps
+// (typically the RTL and BCA runs of the same test and seed) and prints the
+// per-port alignment table against the 99 % sign-off threshold. It can also
+// extract the STBus transaction stream observed at one port. Inputs may be
+// text VCD dumps or compact binary recordings (.crw, as written by
+// regress -wave), in any combination — the format is sniffed per file.
 //
 // Usage:
 //
 //	stba rtl.vcd bca.vcd                  # per-port alignment table
+//	stba rtl.crw bca.crw                  # same, from binary recordings
 //	stba -ports node.init0 rtl.vcd bca.vcd
 //	stba -extract node.init0 -type 3 rtl.vcd
 //	stba -signals node.init0 rtl.vcd bca.vcd  # per-signal drill-down
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -36,13 +40,21 @@ func main() {
 	}
 }
 
+// parseVCD loads a waveform file as a parsed dump, accepting either text VCD
+// or a compact binary recording (sniffed by magic, not extension).
 func parseVCD(path string) (*vcd.File, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return vcd.Parse(f)
+	if vcd.IsRecording(data) {
+		rec, err := vcd.DecodeRecording(data)
+		if err != nil {
+			return nil, err
+		}
+		return rec.File(), nil
+	}
+	return vcd.Parse(bytes.NewReader(data))
 }
 
 func run(portsArg, extract, signals string, typeArg int, args []string) error {

@@ -1,14 +1,20 @@
-// Command vcdcat inspects a VCD waveform dump: it lists the declared
-// variables or prints cycle-sampled values of selected signals, which is
-// handy when debugging an alignment divergence the analyzer reported.
+// Command vcdcat inspects a waveform dump — text VCD or a compact binary
+// recording (.crw), sniffed by content: it lists the declared variables or
+// prints cycle-sampled values of selected signals, which is handy when
+// debugging an alignment divergence the analyzer reported. A binary
+// recording can also be converted back to the byte-identical text VCD the
+// original run would have dumped.
 //
 // Usage:
 //
 //	vcdcat dump.vcd                         # list variables
+//	vcdcat dump.crw                         # same, from a binary recording
 //	vcdcat -sig node.init0.req,node.init0.gnt -from 40 -to 60 dump.vcd
+//	vcdcat -tovcd dump.crw > dump.vcd       # re-serve full-fidelity text VCD
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -19,29 +25,44 @@ import (
 
 func main() {
 	var (
-		sigs = flag.String("sig", "", "comma-separated signal names to print per cycle")
-		from = flag.Uint64("from", 0, "first cycle to print")
-		to   = flag.Uint64("to", 0, "last cycle to print (0 = end of dump)")
+		sigs  = flag.String("sig", "", "comma-separated signal names to print per cycle")
+		from  = flag.Uint64("from", 0, "first cycle to print")
+		to    = flag.Uint64("to", 0, "last cycle to print (0 = end of dump)")
+		tovcd = flag.Bool("tovcd", false, "write the recording back out as text VCD on stdout")
 	)
 	flag.Parse()
-	if err := run(*sigs, *from, *to, flag.Args()); err != nil {
+	if err := run(*sigs, *from, *to, *tovcd, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "vcdcat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sigs string, from, to uint64, args []string) error {
+func run(sigs string, from, to uint64, tovcd bool, args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: vcdcat [flags] dump.vcd")
+		return fmt.Errorf("usage: vcdcat [flags] dump.vcd|dump.crw")
 	}
-	fh, err := os.Open(args[0])
+	data, err := os.ReadFile(args[0])
 	if err != nil {
 		return err
 	}
-	defer fh.Close()
-	f, err := vcd.Parse(fh)
-	if err != nil {
-		return err
+	var f *vcd.File
+	if vcd.IsRecording(data) {
+		rec, err := vcd.DecodeRecording(data)
+		if err != nil {
+			return err
+		}
+		if tovcd {
+			_, err := os.Stdout.Write(rec.VCD())
+			return err
+		}
+		f = rec.File()
+	} else {
+		if tovcd {
+			return fmt.Errorf("-tovcd needs a binary recording (input is already text VCD)")
+		}
+		if f, err = vcd.Parse(bytes.NewReader(data)); err != nil {
+			return err
+		}
 	}
 	if sigs == "" {
 		fmt.Printf("top module %q, %d variables, %d cycles\n", f.TopModule, len(f.Vars), f.Cycles())

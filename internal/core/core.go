@@ -6,8 +6,9 @@
 //	DUT (RTL or BCA)  ←→  CATG bench  →  reports + VCD
 //
 // RunTest executes one (test file, seed) pair against one view; RunPair
-// executes the same pair against both views, then runs the STBus Analyzer on
-// the two waveform dumps and checks functional-coverage equality — the full
+// executes the same pair against both views, streams the STBus Analyzer
+// comparison across them (full VCD dumps are opt-in artifacts, no longer the
+// comparison medium) and checks functional-coverage equality — the full
 // flow of the paper's Figures 4 and 5.
 package core
 
@@ -144,6 +145,12 @@ type RunResult struct {
 	Coverage    *coverage.Group
 	CodeCov     *coverage.CodeMap
 	VCD         []byte
+	// Wave is the compact binary waveform recording, captured when
+	// RunOptions.RecordWave is set — the storable artifact that can re-serve
+	// values or the byte-identical text VCD on demand.
+	Wave *vcd.Recording
+	// Alignment is the streaming STBA report against RunOptions.AlignWith.
+	Alignment *stba.Report
 	// Kernel is the simulation-kernel profile, collected when
 	// RunOptions.KernelStats is set.
 	Kernel *sim.KernelStats
@@ -167,9 +174,20 @@ func (r *RunResult) Summary() string {
 
 // RunOptions tunes a RunTest invocation.
 type RunOptions struct {
-	// DumpVCD captures the DUT port waveforms for later bus-accurate
-	// comparison.
+	// DumpVCD captures the DUT port waveforms as full-fidelity text VCD.
+	// The paired comparison no longer needs it: alignment streams online.
 	DumpVCD bool
+	// RecordWave captures the DUT port waveforms as a compact binary
+	// Recording (RunResult.Wave) — the artifact tier that replaces text VCD.
+	RecordWave bool
+	// AlignWith, when set, attaches a streaming STBA observer comparing the
+	// run's port signals cycle-by-cycle against this reference recording;
+	// the per-port report lands in RunResult.Alignment.
+	AlignWith *vcd.Recording
+	// LegacyAlignment makes RunPairOpt compute alignment through the
+	// write-two-VCDs / parse / Compare round trip instead of the observer —
+	// kept for ablation and equivalence testing.
+	LegacyAlignment bool
 	// KernelStats collects the kernel profile (per-process evaluation
 	// counts, settle-depth histogram, SCC inventory) into RunResult.Kernel.
 	KernelStats bool
@@ -188,11 +206,10 @@ func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptio
 	}
 	res := &RunResult{Test: test.Name, Seed: seed, View: view, DUTIn: cfg}
 
-	var buf bytes.Buffer
-	var wr *vcd.Writer
-	if opt.DumpVCD {
-		wr = vcd.NewWriter(&buf, "tb")
-	}
+	// traceSigs collects the DUT port signals, in port order, for whichever
+	// waveform/alignment taps the options request.
+	tracing := opt.DumpVCD || opt.RecordWave || opt.AlignWith != nil
+	var traceSigs []*sim.Signal
 	var bfms []*catg.InitiatorBFM
 	var initMons, tgtMons []*catg.Monitor
 	var checkers []*catg.Checker
@@ -209,27 +226,45 @@ func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptio
 		})
 		initMons = append(initMons, mon)
 		checkers = append(checkers, catg.NewChecker(sm, p, cfg, true, catg.NodeRouter(cfg, i)))
-		if wr != nil {
-			for _, s := range p.Signals() {
-				wr.Declare(s)
-			}
+		if tracing {
+			traceSigs = append(traceSigs, p.Signals()...)
 		}
 	}
 	for tg, p := range dut.TgtPorts() {
 		catg.NewTargetBFM(sm, p, test.targetFor(cfg, tg), catg.TargetSeed(seed, tg))
 		tgtMons = append(tgtMons, catg.NewMonitor(sm, p, tg, false, nil))
 		checkers = append(checkers, catg.NewChecker(sm, p, cfg, false, nil))
-		if wr != nil {
-			for _, s := range p.Signals() {
-				wr.Declare(s)
-			}
+		if tracing {
+			traceSigs = append(traceSigs, p.Signals()...)
 		}
 	}
 	sb := catg.NewScoreboard(cfg, initMons, tgtMons)
 	cov := catg.NewCoverageModel(cfg, test.trafficFor(cfg, 0))
 	cov.SubscribeMonitors(sm, initMons)
-	if wr != nil {
+	var buf bytes.Buffer
+	var wr *vcd.Writer
+	if opt.DumpVCD {
+		wr = vcd.NewWriter(&buf, "tb")
+		for _, s := range traceSigs {
+			wr.Declare(s)
+		}
 		wr.Attach(sm)
+	}
+	var rc *vcd.Recorder
+	if opt.RecordWave {
+		rc = vcd.NewRecorder("tb")
+		for _, s := range traceSigs {
+			rc.Declare(s)
+		}
+		rc.Attach(sm)
+	}
+	var obs *stba.Observer
+	if opt.AlignWith != nil {
+		obs, err = stba.NewObserver(opt.AlignWith, traceSigs)
+		if err != nil {
+			return nil, err
+		}
+		obs.Attach(sm)
 	}
 
 	limit := test.MaxCycles
@@ -268,6 +303,12 @@ func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptio
 		}
 		res.VCD = buf.Bytes()
 	}
+	if rc != nil {
+		res.Wave = rc.Recording()
+	}
+	if obs != nil {
+		res.Alignment = obs.Report()
+	}
 	if opt.KernelStats {
 		res.Kernel = sm.Stats()
 	}
@@ -298,16 +339,49 @@ func RunPair(cfg nodespec.Config, test Test, seed int64, bugs bca.Bugs) (*PairRe
 	return RunPairOpt(cfg, test, seed, RunOptions{Bugs: bugs})
 }
 
-// RunPairOpt is RunPair with full run options. DumpVCD is forced on (the
-// bus-accurate comparison needs both waveform dumps); KernelStats and Bugs
-// are honoured as given.
+// RunPairOpt is RunPair with full run options. By default the bus-accurate
+// comparison streams: the RTL run captures a compact binary recording, the
+// BCA run replays it through an online observer, and no VCD text is ever
+// built — DumpVCD and RecordWave are honoured as given, purely as artifact
+// requests. LegacyAlignment restores the write/parse/Compare round trip.
 func RunPairOpt(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*PairResult, error) {
-	rtlOpt := RunOptions{DumpVCD: true, KernelStats: opt.KernelStats}
+	if opt.LegacyAlignment {
+		return runPairLegacy(cfg, test, seed, opt)
+	}
+	rtlOpt := RunOptions{DumpVCD: opt.DumpVCD, RecordWave: true, KernelStats: opt.KernelStats}
 	rres, err := RunTest(cfg, RTLView, test, seed, rtlOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: RTL run: %w", err)
 	}
-	bcaOpt := RunOptions{DumpVCD: true, KernelStats: opt.KernelStats, Bugs: opt.Bugs}
+	bcaOpt := RunOptions{
+		DumpVCD: opt.DumpVCD, RecordWave: opt.RecordWave, AlignWith: rres.Wave,
+		KernelStats: opt.KernelStats, Bugs: opt.Bugs,
+	}
+	bres, err := RunTest(cfg, BCAView, test, seed, bcaOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: BCA run: %w", err)
+	}
+	pr := &PairResult{RTL: rres, BCA: bres, Alignment: bres.Alignment}
+	bres.Alignment = nil
+	if !opt.RecordWave {
+		// The RTL recording was only the alignment reference; drop it unless
+		// the caller asked for the artifact.
+		rres.Wave = nil
+	}
+	pr.CoverageEqual, pr.CoverageDiff = rres.Coverage.EqualHits(bres.Coverage)
+	return pr, nil
+}
+
+// runPairLegacy is the pre-streaming pipeline: dump both runs as text VCD,
+// parse both, Compare. Kept behind RunOptions.LegacyAlignment for ablation
+// and for the streaming-equivalence property test.
+func runPairLegacy(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*PairResult, error) {
+	rtlOpt := RunOptions{DumpVCD: true, RecordWave: opt.RecordWave, KernelStats: opt.KernelStats}
+	rres, err := RunTest(cfg, RTLView, test, seed, rtlOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: RTL run: %w", err)
+	}
+	bcaOpt := RunOptions{DumpVCD: true, RecordWave: opt.RecordWave, KernelStats: opt.KernelStats, Bugs: opt.Bugs}
 	bres, err := RunTest(cfg, BCAView, test, seed, bcaOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: BCA run: %w", err)
@@ -325,6 +399,12 @@ func RunPairOpt(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*Pa
 		return nil, err
 	}
 	pr := &PairResult{RTL: rres, BCA: bres, Alignment: rep}
+	if !opt.DumpVCD {
+		// Legacy alignment needs the text dumps internally, but the caller
+		// did not ask for them as artifacts — keep the result shape identical
+		// to the streaming path.
+		rres.VCD, bres.VCD = nil, nil
+	}
 	pr.CoverageEqual, pr.CoverageDiff = rres.Coverage.EqualHits(bres.Coverage)
 	return pr, nil
 }

@@ -8,6 +8,7 @@ import (
 	"crve/internal/bca"
 	"crve/internal/catg"
 	"crve/internal/nodespec"
+	"crve/internal/stba"
 	"crve/internal/stbus"
 )
 
@@ -99,5 +100,27 @@ func TestRunRecordKeepsFailures(t *testing.T) {
 	}
 	if len(back.Violations) != 1 || back.Violations[0].String() != res.Violations[0].String() {
 		t.Errorf("violations %v", back.Violations)
+	}
+}
+
+// TestEmptyAlignmentFailsSignoff is the regression test for the vacuous
+// sign-off hole at the pair level: a PairResult whose alignment report is
+// nil or empty — a zero-value or truncated cached record — used to sign off
+// because Report.AllPass() was vacuously true.
+func TestEmptyAlignmentFailsSignoff(t *testing.T) {
+	passing := &RunResult{Drained: true}
+	for name, rep := range map[string]*stba.Report{"nil": nil, "empty": {}} {
+		pr := &PairResult{RTL: passing, BCA: passing, Alignment: rep, CoverageEqual: true}
+		if pr.SignedOff() {
+			t.Errorf("pair with %s alignment report must not sign off", name)
+		}
+	}
+	// A truncated record restores without ports and must stay failed too.
+	rec := &PairRecord{}
+	if err := json.Unmarshal([]byte(`{"rtl":{"drained":true},"bca":{"drained":true},"coverage_equal":true}`), rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Result(nodespec.Config{}.WithDefaults()).SignedOff() {
+		t.Error("truncated record without alignment must not sign off")
 	}
 }

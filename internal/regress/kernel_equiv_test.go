@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"testing"
 
-	"crve/internal/bca"
 	"crve/internal/core"
 	"crve/internal/sim"
 	"crve/internal/testcases"
@@ -35,12 +34,15 @@ func TestLevelizedKernelEquivalence(t *testing.T) {
 	for _, cfg := range cfgs {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
-			lvl, err := core.RunPair(cfg, tc, seed, bca.Bugs{})
+			// Text VCD is now an opt-in artifact; the byte-equality check here
+			// still wants the dumps, so request them explicitly.
+			opt := core.RunOptions{DumpVCD: true}
+			lvl, err := core.RunPairOpt(cfg, tc, seed, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
 			sim.ForceDeltaLoop = true
-			leg, err := core.RunPair(cfg, tc, seed, bca.Bugs{})
+			leg, err := core.RunPairOpt(cfg, tc, seed, opt)
 			sim.ForceDeltaLoop = false
 			if err != nil {
 				t.Fatal(err)

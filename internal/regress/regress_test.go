@@ -14,6 +14,7 @@ import (
 	"crve/internal/nodespec"
 	"crve/internal/stbus"
 	"crve/internal/testcases"
+	"crve/internal/vcd"
 )
 
 const sampleCfg = `
@@ -289,9 +290,35 @@ func TestWriteReports(t *testing.T) {
 			t.Errorf("report missing %q", want)
 		}
 	}
-	for _, f := range []string{"basic_write_read_seed1_rtl.vcd", "basic_write_read_seed1_bca.vcd"} {
-		if _, err := os.Stat(filepath.Join(base, f)); err != nil {
+	// The streaming default writes no waveform files at all.
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".vcd") || strings.HasSuffix(e.Name(), ".crw") {
+			t.Errorf("default run must not write waveform artifacts, found %s", e.Name())
+		}
+	}
+
+	// With RecordWave, the compact binary recordings are kept per run and
+	// round-trip through the encoder.
+	cr, err = RunConfig(cfg, Options{Tests: []core.Test{tc}, Seeds: []int64{1}, RecordWave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := WriteReports(dir2, []*ConfigResult{cr}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"basic_write_read_seed1_rtl.crw", "basic_write_read_seed1_bca.crw"} {
+		data, err := os.ReadFile(filepath.Join(dir2, cfg.Name, f))
+		if err != nil {
 			t.Errorf("missing artifact %s: %v", f, err)
+			continue
+		}
+		if _, err := vcd.DecodeRecording(data); err != nil {
+			t.Errorf("artifact %s does not decode: %v", f, err)
 		}
 	}
 }

@@ -48,6 +48,14 @@ type Options struct {
 	// unit (cache-served units keep whatever profile their stored record
 	// has, possibly none). Aggregate with KernelReport.
 	KernelStats bool
+	// RecordWave keeps the compact binary waveform recording of every
+	// simulated unit (WriteReports stores them as .crw files). Off by
+	// default: the streaming alignment path needs no retained waveforms.
+	RecordWave bool
+	// LegacyAlignment computes alignment through the legacy VCD round trip
+	// (write both dumps, parse, Compare) instead of the streaming observer —
+	// the ablation baseline.
+	LegacyAlignment bool
 }
 
 // TestRun is one (test, seed) execution on both views.

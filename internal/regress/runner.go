@@ -187,7 +187,10 @@ func runUnit(u workUnit, opt Options) unitOutcome {
 			return unitOutcome{idx: u.idx, pair: rec.Result(u.cfg), cached: true}
 		}
 	}
-	pair, err := core.RunPairOpt(u.cfg, u.test, u.seed, core.RunOptions{Bugs: opt.Bugs, KernelStats: opt.KernelStats})
+	pair, err := core.RunPairOpt(u.cfg, u.test, u.seed, core.RunOptions{
+		Bugs: opt.Bugs, KernelStats: opt.KernelStats,
+		RecordWave: opt.RecordWave, LegacyAlignment: opt.LegacyAlignment,
+	})
 	if err != nil {
 		return unitOutcome{idx: u.idx, err: fmt.Errorf("regress: %s/%s seed %d: %w", u.cfg.Name, u.test.Name, u.seed, err)}
 	}

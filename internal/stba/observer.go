@@ -1,0 +1,234 @@
+package stba
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"crve/internal/sim"
+	"crve/internal/vcd"
+)
+
+// Observer is the streaming STBus Analyzer: it attaches to the second
+// (typically BCA) simulation at the same cycle boundaries as vcd.Writer and
+// compares live signal values against a compact Recording captured from the
+// first (RTL) run — no VCD text, no parsing, no per-cycle value searches.
+// After the run, Report returns the same *Report the legacy pipeline
+// (write two VCDs, Parse both, Compare) produces, byte for byte.
+//
+// The comparison window is min of the two sides' cycle counts, each defined
+// by its last signal activity exactly like File.Cycles on a parsed dump; the
+// window is therefore only known once the live run ends, so per-port
+// mismatches are kept as cycle bitsets and accounted at Report time (cycles
+// at or past the window are discarded, the uncovered tail is charged as
+// misaligned).
+type Observer struct {
+	rec    *vcd.Recording
+	cursor *vcd.Cursor
+	ports  []obsPort
+
+	// sigs/prev track every observed live signal so the live side's cycle
+	// count is derived from its last change, mirroring the dump's EndTime.
+	sigs    []*sim.Signal
+	prev    []sim.Bits
+	started bool
+	samples uint64
+	liveEnd uint64
+}
+
+// obsPort is the per-port comparison state.
+type obsPort struct {
+	name   string
+	names  []string      // signal names, sorted — legacy pair order
+	recIdx []int         // recording index per signal
+	live   []*sim.Signal // live signal per name
+
+	mismatch   []uint64 // bitset of mismatching cycles
+	firstCycle int64    // first mismatching cycle, or -1
+	firstNames []string // all mismatching signals at firstCycle
+}
+
+// NewObserver builds an observer comparing the recording (first dump) against
+// the given live signals (second dump). Ports are discovered over the union
+// of both sides; a port signal present on only one side is an error, exactly
+// as in Compare.
+func NewObserver(rec *vcd.Recording, sigs []*sim.Signal) (*Observer, error) {
+	liveByName := make(map[string]*sim.Signal, len(sigs))
+	names := make([]string, 0, len(sigs)+rec.NumSignals())
+	for _, s := range sigs {
+		liveByName[s.Name()] = s
+		names = append(names, s.Name())
+	}
+	for i := 0; i < rec.NumSignals(); i++ {
+		names = append(names, rec.SignalName(i))
+	}
+
+	seen := map[string]int{}
+	for _, n := range names {
+		dot := strings.LastIndexByte(n, '.')
+		if dot < 0 {
+			continue
+		}
+		prefix, leaf := n[:dot], n[dot+1:]
+		if leaf == "req" {
+			seen[prefix] |= 1
+		}
+		if leaf == "gnt" {
+			seen[prefix] |= 2
+		}
+	}
+	ports := portsFrom(seen)
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("stba: no STBus ports found")
+	}
+
+	obs := &Observer{rec: rec, cursor: rec.NewCursor(), sigs: sigs, prev: make([]sim.Bits, len(sigs))}
+	for _, port := range ports {
+		under := map[string]bool{}
+		for _, n := range names {
+			if strings.HasPrefix(n, port+".") {
+				under[n] = true
+			}
+		}
+		sorted := make([]string, 0, len(under))
+		for n := range under {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		p := obsPort{name: port, names: sorted, firstCycle: -1}
+		for _, n := range sorted {
+			ri := rec.SignalIndex(n)
+			if ri < 0 {
+				return nil, fmt.Errorf("stba: signal %q missing from first dump", n)
+			}
+			ls, ok := liveByName[n]
+			if !ok {
+				return nil, fmt.Errorf("stba: signal %q missing from second dump", n)
+			}
+			p.recIdx = append(p.recIdx, ri)
+			p.live = append(p.live, ls)
+		}
+		if len(p.names) == 0 {
+			return nil, fmt.Errorf("stba: port %q has no signals", port)
+		}
+		obs.ports = append(obs.ports, p)
+	}
+	return obs, nil
+}
+
+// Attach registers an end-of-cycle hook on the live simulator, sampling at
+// the same points as vcd.Writer.Attach.
+func (obs *Observer) Attach(sm *sim.Simulator) {
+	sm.AtCycleEnd(func() {
+		obs.Sample(sm.Cycle() - 1)
+	})
+}
+
+// Sample compares every port signal's live value against the recording at
+// the end of the given cycle. Cycles must be sampled in increasing order.
+func (obs *Observer) Sample(cycle uint64) {
+	obs.samples++
+	obs.cursor.AdvanceTo(cycle)
+
+	// Track the live side's last activity; the first sample counts as a
+	// change (the $dumpvars analog), exactly like Writer.
+	if !obs.started {
+		obs.started = true
+		obs.liveEnd = cycle
+		for i, s := range obs.sigs {
+			obs.prev[i] = s.Get()
+		}
+	} else {
+		for i, s := range obs.sigs {
+			if v := s.Get(); !v.Equal(obs.prev[i]) {
+				obs.prev[i] = v
+				obs.liveEnd = cycle
+			}
+		}
+	}
+
+	for pi := range obs.ports {
+		p := &obs.ports[pi]
+		ok := true
+		for i, ls := range p.live {
+			if !ls.Get().Equal(obs.cursor.Value(p.recIdx[i])) {
+				ok = false
+				if p.firstCycle < 0 {
+					p.firstNames = append(p.firstNames, p.names[i])
+					continue
+				}
+				break
+			}
+		}
+		if !ok {
+			if p.firstCycle < 0 {
+				p.firstCycle = int64(cycle)
+			}
+			word := cycle / 64
+			for uint64(len(p.mismatch)) <= word {
+				p.mismatch = append(p.mismatch, 0)
+			}
+			p.mismatch[word] |= 1 << (cycle % 64)
+		}
+	}
+}
+
+// Report finalizes the comparison: the window both sides cover is now known,
+// so mismatches past it are discarded and the uncovered tail is charged as
+// misaligned — identical accounting to Compare on the two parsed dumps.
+func (obs *Observer) Report() *Report {
+	ca := obs.rec.Cycles()
+	cb := obs.liveEnd + 1
+	if !obs.started {
+		// No samples: the live dump would still parse as one all-zero cycle.
+		cb = 1
+		obs.cursor.AdvanceTo(0)
+		for pi := range obs.ports {
+			p := &obs.ports[pi]
+			var zero sim.Bits
+			for i := range p.names {
+				if !obs.cursor.Value(p.recIdx[i]).Equal(zero) {
+					if p.firstCycle < 0 {
+						p.firstCycle = 0
+						p.firstNames = append(p.firstNames, p.names[i])
+					}
+					p.mismatch = []uint64{1}
+					break
+				}
+			}
+		}
+	}
+	shared, span := compareWindow(ca, cb)
+	rep := &Report{}
+	for pi := range obs.ports {
+		p := &obs.ports[pi]
+		pa := PortAlignment{
+			Port: p.name, Signals: len(p.names),
+			Cycles: span, CyclesA: ca, CyclesB: cb,
+			Aligned:         shared - popcountBelow(p.mismatch, shared),
+			FirstDivergence: -1,
+		}
+		if p.firstCycle >= 0 && uint64(p.firstCycle) < shared {
+			pa.FirstDivergence = p.firstCycle
+			pa.FirstDiverging = p.firstNames
+		} else if shared < span {
+			pa.FirstDivergence = int64(shared)
+		}
+		rep.Ports = append(rep.Ports, pa)
+	}
+	return rep
+}
+
+// popcountBelow counts set bits at positions strictly below limit.
+func popcountBelow(words []uint64, limit uint64) uint64 {
+	var n uint64
+	full := limit / 64
+	for i := uint64(0); i < full && i < uint64(len(words)); i++ {
+		n += uint64(bits.OnesCount64(words[i]))
+	}
+	if rem := limit % 64; rem != 0 && full < uint64(len(words)) {
+		n += uint64(bits.OnesCount64(words[full] & (1<<rem - 1)))
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package stba
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"crve/internal/bca"
+	"crve/internal/catg"
+	"crve/internal/nodespec"
+	"crve/internal/rtl"
+	"crve/internal/sim"
+	"crve/internal/stbus"
+	"crve/internal/vcd"
+)
+
+// runViewObserved runs one DUT view under the shared CATG bench with a text
+// Writer, a compact Recorder, and — when ref is non-nil — a streaming
+// Observer all attached to the same sampling points. It returns the parsed
+// dump, the recording, and the observer.
+func runViewObserved(t *testing.T, cfg nodespec.Config, bugs *bca.Bugs, seed int64, cycles int, ref *vcd.Recording) (*vcd.File, *vcd.Recording, *Observer) {
+	t.Helper()
+	sm := sim.New()
+	var initPorts, tgtPorts []*stbus.Port
+	if bugs == nil {
+		n, err := rtl.NewNode(sim.Root(sm), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initPorts, tgtPorts = n.Init, n.Tgt
+	} else {
+		n, err := bca.NewNode(sim.Root(sm), cfg, *bugs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initPorts, tgtPorts = n.Init, n.Tgt
+	}
+	var buf bytes.Buffer
+	wr := vcd.NewWriter(&buf, "tb")
+	rc := vcd.NewRecorder("tb")
+	var sigs []*sim.Signal
+	for i, p := range initPorts {
+		ops := catg.GenerateOps(cfg, catg.TrafficConfig{Ops: 25, UnmappedPct: 4, IdlePct: 10}, i, seed)
+		catg.NewInitiatorBFM(sm, p, ops)
+		sigs = append(sigs, p.Signals()...)
+	}
+	for ti, p := range tgtPorts {
+		catg.NewTargetBFM(sm, p, catg.TargetConfig{MinLatency: 1, MaxLatency: 5, GntGapPct: 15},
+			seed*17+int64(ti))
+		sigs = append(sigs, p.Signals()...)
+	}
+	for _, s := range sigs {
+		wr.Declare(s)
+		rc.Declare(s)
+	}
+	wr.Attach(sm)
+	rc.Attach(sm)
+	var obs *Observer
+	if ref != nil {
+		var err error
+		if obs, err = NewObserver(ref, sigs); err != nil {
+			t.Fatal(err)
+		}
+		obs.Attach(sm)
+	}
+	if err := sm.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := vcd.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, rc.Recording(), obs
+}
+
+// checkObserverMatchesCompare asserts the streaming report is JSON-identical
+// to the legacy VCD round-trip report for the given scenario.
+func checkObserverMatchesCompare(t *testing.T, bugs bca.Bugs, seed int64, rtlCycles, bcaCycles int) {
+	t.Helper()
+	cfg := nodeCfg()
+	fr, rec, _ := runViewObserved(t, cfg, nil, seed, rtlCycles, nil)
+	fb, _, obs := runViewObserved(t, cfg, &bugs, seed, bcaCycles, rec)
+
+	want, err := Compare(fr, fb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := obs.Report()
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if !bytes.Equal(wj, gj) {
+		t.Errorf("observer report differs from legacy Compare:\n legacy: %s\nstream: %s", wj, gj)
+	}
+	if got.String() != want.String() {
+		t.Errorf("rendered reports differ:\n--- legacy ---\n%s--- stream ---\n%s", want.String(), got.String())
+	}
+}
+
+func TestObserverMatchesCompareBugFree(t *testing.T) {
+	checkObserverMatchesCompare(t, bca.Bugs{}, 5, 1500, 1500)
+}
+
+func TestObserverMatchesCompareBugged(t *testing.T) {
+	checkObserverMatchesCompare(t, bca.Bugs{LRUInit: true}, 5, 1500, 1500)
+}
+
+func TestObserverMatchesCompareShortRun(t *testing.T) {
+	// The live run stops early: the tail must be charged exactly as Compare
+	// charges a short dump.
+	checkObserverMatchesCompare(t, bca.Bugs{}, 7, 1500, 900)
+	// And the reference can be the short side too.
+	checkObserverMatchesCompare(t, bca.Bugs{LRUInit: true}, 7, 900, 1500)
+}
+
+func TestObserverRecordingRoundTripVCD(t *testing.T) {
+	// The recording captured alongside the observer re-serves the exact VCD
+	// text the Writer produced, so the compact artifact loses nothing.
+	cfg := nodeCfg()
+	sm := sim.New()
+	n, err := rtl.NewNode(sim.Root(sm), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	wr := vcd.NewWriter(&buf, "tb")
+	rc := vcd.NewRecorder("tb")
+	for i, p := range n.Init {
+		ops := catg.GenerateOps(cfg, catg.TrafficConfig{Ops: 10, IdlePct: 10}, i, 3)
+		catg.NewInitiatorBFM(sm, p, ops)
+	}
+	for ti, p := range n.Tgt {
+		catg.NewTargetBFM(sm, p, catg.TargetConfig{MinLatency: 1, MaxLatency: 4}, int64(ti))
+	}
+	for _, p := range append(append([]*stbus.Port{}, n.Init...), n.Tgt...) {
+		for _, s := range p.Signals() {
+			wr.Declare(s)
+			rc.Declare(s)
+		}
+	}
+	wr.Attach(sm)
+	rc.Attach(sm)
+	if err := sm.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.Recording().VCD(); !bytes.Equal(got, buf.Bytes()) {
+		t.Error("Recording.VCD differs from Writer output on a DUT run")
+	}
+}
+
+func TestObserverErrors(t *testing.T) {
+	empty := vcd.NewRecorder("tb").Recording()
+	if _, err := NewObserver(empty, nil); err == nil {
+		t.Error("no ports should fail")
+	}
+	sm := sim.New()
+	req := sm.Signal("p.req", 1)
+	gnt := sm.Signal("p.gnt", 1)
+	extra := sm.Signal("p.extra", 8)
+	rc := vcd.NewRecorder("tb")
+	rc.Declare(req)
+	rc.Declare(gnt)
+	rc.Sample(0)
+	rec := rc.Recording()
+	if _, err := NewObserver(rec, []*sim.Signal{req, gnt, extra}); err == nil {
+		t.Error("live-only signal should fail (missing from first dump)")
+	}
+	if _, err := NewObserver(rec, []*sim.Signal{req}); err == nil {
+		t.Error("recording-only signal should fail (missing from second dump)")
+	}
+	if obs, err := NewObserver(rec, []*sim.Signal{req, gnt}); err != nil {
+		t.Errorf("symmetric signal sets must construct: %v", err)
+	} else if rep := obs.Report(); rep.AllPass() {
+		// Zero samples: one virtual all-zero live cycle against a one-cycle
+		// recording; rates are defined, and nothing passes vacuously here
+		// because both sides are all-zero and aligned — the report has ports.
+		if len(rep.Ports) != 1 || rep.Ports[0].Cycles != 1 {
+			t.Errorf("unexpected zero-sample report: %+v", rep.Ports)
+		}
+	}
+}

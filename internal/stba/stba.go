@@ -22,14 +22,23 @@ const SignoffRate = 99.0
 type PortAlignment struct {
 	Port    string
 	Signals int
-	// Cycles is the number of compared clock cycles.
+	// Cycles is the number of clock cycles the comparison spans: the longer
+	// of the two dumps. Cycles one dump does not cover count as misaligned —
+	// a model that stalls or drains early must not look aligned by omission.
 	Cycles uint64
+	// CyclesA and CyclesB are the cycle counts of the two dumps; when they
+	// differ, the uncovered tail is charged against the alignment rate.
+	CyclesA uint64
+	CyclesB uint64
 	// Aligned counts cycles where every signal of the port matched.
 	Aligned uint64
-	// FirstDivergence is the first differing cycle, or -1.
+	// FirstDivergence is the first differing cycle, or -1. When the dumps
+	// agree over the shared window but one ends early, it is the first
+	// uncovered cycle.
 	FirstDivergence int64
 	// FirstDiverging lists the signal names that differ at FirstDivergence,
-	// the analyzer's debugging aid.
+	// the analyzer's debugging aid (empty when the divergence is a dump
+	// ending early rather than a value mismatch).
 	FirstDiverging []string
 }
 
@@ -49,8 +58,14 @@ type Report struct {
 	Ports []PortAlignment
 }
 
-// AllPass reports whether every port meets the sign-off rate.
+// AllPass reports whether every port meets the sign-off rate. An empty
+// report — nil, zero ports, or one rebuilt from a truncated record — fails:
+// alignment that was never measured must not sign off vacuously (the same
+// hole as the zero-run regression verdict).
 func (r *Report) AllPass() bool {
+	if r == nil || len(r.Ports) == 0 {
+		return false
+	}
 	for _, p := range r.Ports {
 		if !p.Pass() {
 			return false
@@ -59,8 +74,12 @@ func (r *Report) AllPass() bool {
 	return true
 }
 
-// MinRate returns the worst per-port rate (100 when no ports).
+// MinRate returns the worst per-port rate (0 when no ports were compared,
+// so an empty report can never clear the sign-off threshold).
 func (r *Report) MinRate() float64 {
+	if r == nil || len(r.Ports) == 0 {
+		return 0
+	}
 	min := 100.0
 	for _, p := range r.Ports {
 		if rate := p.Rate(); rate < min {
@@ -101,6 +120,21 @@ func (r *Report) String() string {
 // contains both a "req" and a "gnt" wire.
 func DiscoverPorts(f *vcd.File) []string {
 	seen := map[string]int{}
+	discoverInto(f, seen)
+	return portsFrom(seen)
+}
+
+// DiscoverPortsUnion finds STBus port prefixes over the union of both dumps,
+// so a port present in only one of them is still discovered (and then
+// reported as one-sided by Compare, instead of silently ignored).
+func DiscoverPortsUnion(a, b *vcd.File) []string {
+	seen := map[string]int{}
+	discoverInto(a, seen)
+	discoverInto(b, seen)
+	return portsFrom(seen)
+}
+
+func discoverInto(f *vcd.File, seen map[string]int) {
 	for _, v := range f.Vars {
 		dot := strings.LastIndexByte(v.Name, '.')
 		if dot < 0 {
@@ -114,6 +148,9 @@ func DiscoverPorts(f *vcd.File) []string {
 			seen[prefix] |= 2
 		}
 	}
+}
+
+func portsFrom(seen map[string]int) []string {
 	var ports []string
 	for p, mask := range seen {
 		if mask == 3 {
@@ -124,45 +161,82 @@ func DiscoverPorts(f *vcd.File) []string {
 	return ports
 }
 
+// portSignals returns the sorted union of signal names under port across
+// both dumps, erroring on a signal present in only one of them.
+func portSignals(a, b *vcd.File, port string) ([]string, error) {
+	seen := map[string]bool{}
+	for _, f := range []*vcd.File{a, b} {
+		for _, v := range f.Vars {
+			if strings.HasPrefix(v.Name, port+".") {
+				seen[v.Name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if a.VarIndex(n) < 0 {
+			return nil, fmt.Errorf("stba: signal %q missing from first dump", n)
+		}
+		if b.VarIndex(n) < 0 {
+			return nil, fmt.Errorf("stba: signal %q missing from second dump", n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("stba: port %q has no signals", port)
+	}
+	return names, nil
+}
+
+// compareWindow returns the per-dump cycle counts and the shared window both
+// dumps cover; the span beyond the shared window counts as misaligned.
+func compareWindow(ca, cb uint64) (shared, span uint64) {
+	shared, span = ca, cb
+	if shared > span {
+		shared, span = span, shared
+	}
+	return shared, span
+}
+
 // Compare computes per-port alignment between two dumps over the given port
-// prefixes (DiscoverPorts(a) when nil). Comparison runs for the cycles both
-// dumps cover.
+// prefixes (discovered over the union of both dumps when nil). The rate
+// denominator is the longer dump's cycle count: cycles only one dump covers
+// are charged as misaligned, so a model that stops early fails sign-off.
 func Compare(a, b *vcd.File, ports []string) (*Report, error) {
 	if ports == nil {
-		ports = DiscoverPorts(a)
+		ports = DiscoverPortsUnion(a, b)
 	}
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("stba: no STBus ports found")
 	}
-	cycles := a.Cycles()
-	if bc := b.Cycles(); bc < cycles {
-		cycles = bc
-	}
+	ca, cb := a.Cycles(), b.Cycles()
+	shared, span := compareWindow(ca, cb)
 	rep := &Report{}
 	for _, port := range ports {
-		var pairs [][2]int
-		for ai, v := range a.Vars {
-			if !strings.HasPrefix(v.Name, port+".") {
-				continue
-			}
-			bi := b.VarIndex(v.Name)
-			if bi < 0 {
-				return nil, fmt.Errorf("stba: signal %q missing from second dump", v.Name)
-			}
-			pairs = append(pairs, [2]int{ai, bi})
+		names, err := portSignals(a, b, port)
+		if err != nil {
+			return nil, err
 		}
-		if len(pairs) == 0 {
-			return nil, fmt.Errorf("stba: port %q has no signals", port)
+		pairs := make([][2]int, len(names))
+		for i, n := range names {
+			pairs[i] = [2]int{a.VarIndex(n), b.VarIndex(n)}
 		}
-		pa := PortAlignment{Port: port, Signals: len(pairs), Cycles: cycles, FirstDivergence: -1}
-		for cyc := uint64(0); cyc < cycles; cyc++ {
+		pa := PortAlignment{
+			Port: port, Signals: len(pairs),
+			Cycles: span, CyclesA: ca, CyclesB: cb,
+			FirstDivergence: -1,
+		}
+		for cyc := uint64(0); cyc < shared; cyc++ {
 			time := cyc * vcd.TimePerCycle
 			ok := true
-			for _, pr := range pairs {
+			for i, pr := range pairs {
 				if !a.ValueAt(pr[0], time).Equal(b.ValueAt(pr[1], time)) {
 					ok = false
 					if pa.FirstDivergence < 0 {
-						pa.FirstDiverging = append(pa.FirstDiverging, a.Vars[pr[0]].Name)
+						pa.FirstDiverging = append(pa.FirstDiverging, names[i])
 						continue
 					}
 					break
@@ -173,6 +247,9 @@ func Compare(a, b *vcd.File, ports []string) (*Report, error) {
 			} else if pa.FirstDivergence < 0 {
 				pa.FirstDivergence = int64(cyc)
 			}
+		}
+		if shared < span && pa.FirstDivergence < 0 {
+			pa.FirstDivergence = int64(shared)
 		}
 		rep.Ports = append(rep.Ports, pa)
 	}
@@ -195,32 +272,26 @@ func (sr SignalRate) Rate() float64 {
 }
 
 // SignalRates breaks a port's alignment down signal by signal — the
-// analyzer's drill-down view once a port fails the sign-off rate.
+// analyzer's drill-down view once a port fails the sign-off rate. Like
+// Compare, the denominator spans the longer dump; the uncovered tail counts
+// as misaligned for every signal.
 func SignalRates(a, b *vcd.File, port string) ([]SignalRate, error) {
-	cycles := a.Cycles()
-	if bc := b.Cycles(); bc < cycles {
-		cycles = bc
+	shared, span := compareWindow(a.Cycles(), b.Cycles())
+	names, err := portSignals(a, b, port)
+	if err != nil {
+		return nil, err
 	}
-	var out []SignalRate
-	for ai, v := range a.Vars {
-		if !strings.HasPrefix(v.Name, port+".") {
-			continue
-		}
-		bi := b.VarIndex(v.Name)
-		if bi < 0 {
-			return nil, fmt.Errorf("stba: signal %q missing from second dump", v.Name)
-		}
-		sr := SignalRate{Signal: v.Name, Cycles: cycles}
-		for cyc := uint64(0); cyc < cycles; cyc++ {
+	out := make([]SignalRate, 0, len(names))
+	for _, n := range names {
+		ai, bi := a.VarIndex(n), b.VarIndex(n)
+		sr := SignalRate{Signal: n, Cycles: span}
+		for cyc := uint64(0); cyc < shared; cyc++ {
 			time := cyc * vcd.TimePerCycle
 			if a.ValueAt(ai, time).Equal(b.ValueAt(bi, time)) {
 				sr.Aligned++
 			}
 		}
 		out = append(out, sr)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("stba: port %q has no signals", port)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rate() < out[j].Rate() })
 	return out, nil

@@ -246,3 +246,161 @@ func TestSignalRatesDrillDown(t *testing.T) {
 		t.Error("missing signals should fail")
 	}
 }
+
+// parseText parses a hand-written VCD dump used by the regression tests for
+// the sign-off holes.
+func parseText(t *testing.T, text string) *vcd.File {
+	t.Helper()
+	f, err := vcd.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// twoPortDefs declares tb.p.{req,gnt} — the minimal discoverable STBus port.
+const twoPortDefs = `$scope module tb $end
+$scope module p $end
+$var wire 1 ! req $end
+$var wire 1 " gnt $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+`
+
+// TestCompareChargesShortDumpTail is the regression test for the truncation
+// hole: Compare used to clip both dumps to the shared window, so a BCA that
+// stalled or drained early looked 100 % aligned. The tail the short dump
+// does not cover must now count as misaligned.
+func TestCompareChargesShortDumpTail(t *testing.T) {
+	// A runs 11 cycles (EndTime 100); B is identical through time 50 but
+	// records nothing after — 6 cycles.
+	long := parseText(t, twoPortDefs+"#0\n$dumpvars\n0!\n0\"\n$end\n#10\n1!\n#50\n0!\n#100\n1\"\n")
+	short := parseText(t, twoPortDefs+"#0\n$dumpvars\n0!\n0\"\n$end\n#10\n1!\n#50\n0!\n")
+	if long.Cycles() != 11 || short.Cycles() != 6 {
+		t.Fatalf("dump cycles = %d, %d; want 11, 6", long.Cycles(), short.Cycles())
+	}
+	rep, err := Compare(long, short, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ports) != 1 {
+		t.Fatalf("ports: %+v", rep.Ports)
+	}
+	pa := rep.Ports[0]
+	if pa.Cycles != 11 || pa.CyclesA != 11 || pa.CyclesB != 6 {
+		t.Errorf("cycles = %d (a %d, b %d), want 11 (11, 6)", pa.Cycles, pa.CyclesA, pa.CyclesB)
+	}
+	if pa.Aligned != 6 {
+		t.Errorf("aligned = %d, want 6 (shared window only)", pa.Aligned)
+	}
+	if pa.FirstDivergence != 6 || len(pa.FirstDiverging) != 0 {
+		t.Errorf("first divergence = %d %v, want 6 (first uncovered cycle, no signal list)",
+			pa.FirstDivergence, pa.FirstDiverging)
+	}
+	if pa.Pass() {
+		t.Errorf("short-stopping dump must fail sign-off, got %.2f%%", pa.Rate())
+	}
+	// Same accounting in both directions and in the drill-down view.
+	rev, err := Compare(short, long, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Ports[0].Aligned != 6 || rev.Ports[0].Cycles != 11 {
+		t.Errorf("reversed compare: %+v", rev.Ports[0])
+	}
+	rates, err := SignalRates(long, short, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range rates {
+		if sr.Cycles != 11 || sr.Aligned != 6 {
+			t.Errorf("signal %s: %d/%d, want 6/11", sr.Signal, sr.Aligned, sr.Cycles)
+		}
+	}
+}
+
+// TestDiscoverPortsUnion is the regression test for asymmetric discovery: a
+// port or signal present only in the BCA dump used to be silently ignored.
+func TestDiscoverPortsUnion(t *testing.T) {
+	onePort := parseText(t, twoPortDefs+"#0\n$dumpvars\n0!\n0\"\n$end\n")
+	twoPorts := parseText(t, `$scope module tb $end
+$scope module p $end
+$var wire 1 ! req $end
+$var wire 1 " gnt $end
+$upscope $end
+$scope module q $end
+$var wire 1 # req $end
+$var wire 1 $ gnt $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+#0
+$dumpvars
+0!
+0"
+0#
+0$
+$end
+`)
+	if got := DiscoverPorts(onePort); len(got) != 1 || got[0] != "p" {
+		t.Fatalf("DiscoverPorts = %v", got)
+	}
+	for _, pair := range [][2]*vcd.File{{onePort, twoPorts}, {twoPorts, onePort}} {
+		got := DiscoverPortsUnion(pair[0], pair[1])
+		if len(got) != 2 || got[0] != "p" || got[1] != "q" {
+			t.Fatalf("DiscoverPortsUnion = %v, want [p q]", got)
+		}
+	}
+	// With nil ports, Compare now discovers q from the second dump and must
+	// report it as one-sided instead of silently comparing only p.
+	if _, err := Compare(onePort, twoPorts, nil); err == nil ||
+		!strings.Contains(err.Error(), "missing from first dump") {
+		t.Errorf("port only in second dump: err = %v", err)
+	}
+	if _, err := Compare(twoPorts, onePort, nil); err == nil ||
+		!strings.Contains(err.Error(), "missing from second dump") {
+		t.Errorf("port only in first dump: err = %v", err)
+	}
+	// An extra signal on a shared port is one-sided in either direction.
+	extra := parseText(t, `$scope module tb $end
+$scope module p $end
+$var wire 1 ! req $end
+$var wire 1 " gnt $end
+$var wire 8 # data $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+#0
+$dumpvars
+0!
+0"
+b0 #
+$end
+`)
+	if _, err := Compare(onePort, extra, []string{"p"}); err == nil ||
+		!strings.Contains(err.Error(), "missing from first dump") {
+		t.Errorf("extra signal in second dump: err = %v", err)
+	}
+	if _, err := Compare(extra, onePort, []string{"p"}); err == nil ||
+		!strings.Contains(err.Error(), "missing from second dump") {
+		t.Errorf("extra signal in first dump: err = %v", err)
+	}
+	if _, err := SignalRates(onePort, extra, "p"); err == nil {
+		t.Error("SignalRates must reject one-sided signals too")
+	}
+}
+
+// TestEmptyReportFailsSignoff is the regression test for the vacuous-pass
+// hole: a zero-port report (e.g. rebuilt from a zero-value or truncated JSON
+// record) used to return AllPass()==true and MinRate()==100.
+func TestEmptyReportFailsSignoff(t *testing.T) {
+	for name, rep := range map[string]*Report{"nil": nil, "empty": {}} {
+		if rep.AllPass() {
+			t.Errorf("%s report must not pass sign-off", name)
+		}
+		if got := rep.MinRate(); got != 0 {
+			t.Errorf("%s report MinRate = %v, want 0", name, got)
+		}
+	}
+}

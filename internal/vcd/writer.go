@@ -81,40 +81,45 @@ func idCode(i int) string {
 
 func (wr *Writer) writeHeader() {
 	wr.headerDone = true
-	fmt.Fprintf(wr.w, "$date\n\treproduction run\n$end\n")
-	fmt.Fprintf(wr.w, "$version\n\tcrve vcd writer\n$end\n")
-	fmt.Fprintf(wr.w, "$timescale\n\t1ns\n$end\n")
-
-	// Build a scope tree from dotted names so hierarchy survives round-trips.
 	wr.codes = make([]string, len(wr.sigs))
 	wr.last = make([]sim.Bits, len(wr.sigs))
-	for i := range wr.sigs {
+	names := make([]string, len(wr.sigs))
+	widths := make([]int, len(wr.sigs))
+	for i, s := range wr.sigs {
 		wr.codes[i] = idCode(i)
+		names[i] = s.Name()
+		widths[i] = s.Width()
 	}
-	fmt.Fprintf(wr.w, "$scope module %s $end\n", wr.module)
-	wr.writeScope("", wr.sortedIndices())
-	fmt.Fprintf(wr.w, "$upscope $end\n")
-	fmt.Fprintf(wr.w, "$enddefinitions $end\n")
+	writeDefs(wr.w, wr.module, names, widths, wr.codes)
 }
 
-// sortedIndices returns signal indices ordered by hierarchical name so that
-// signals of a scope group together.
-func (wr *Writer) sortedIndices() []int {
-	idx := make([]int, len(wr.sigs))
+// writeDefs emits the VCD declaration section — header directives plus a
+// scope tree rebuilt from dotted names so hierarchy survives round-trips —
+// for both the live Writer and a Recording re-serving text VCD.
+func writeDefs(w io.Writer, module string, names []string, widths []int, codes []string) {
+	fmt.Fprintf(w, "$date\n\treproduction run\n$end\n")
+	fmt.Fprintf(w, "$version\n\tcrve vcd writer\n$end\n")
+	fmt.Fprintf(w, "$timescale\n\t1ns\n$end\n")
+
+	// Sort by hierarchical name so signals of a scope group together.
+	idx := make([]int, len(names))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		return wr.sigs[idx[a]].Name() < wr.sigs[idx[b]].Name()
+		return names[idx[a]] < names[idx[b]]
 	})
-	return idx
+	fmt.Fprintf(w, "$scope module %s $end\n", module)
+	writeScope(w, "", names, widths, codes, idx)
+	fmt.Fprintf(w, "$upscope $end\n")
+	fmt.Fprintf(w, "$enddefinitions $end\n")
 }
 
 // writeScope emits $scope/$var declarations for all signals under prefix.
-func (wr *Writer) writeScope(prefix string, idx []int) {
+func writeScope(w io.Writer, prefix string, names []string, widths []int, codes []string, idx []int) {
 	emitted := map[string]bool{}
 	for _, i := range idx {
-		name := wr.sigs[i].Name()
+		name := names[i]
 		if prefix != "" {
 			if !strings.HasPrefix(name, prefix+".") {
 				continue
@@ -131,16 +136,16 @@ func (wr *Writer) writeScope(prefix string, idx []int) {
 			if prefix != "" {
 				full = prefix + "." + child
 			}
-			fmt.Fprintf(wr.w, "$scope module %s $end\n", child)
-			wr.writeScope(full, idx)
-			fmt.Fprintf(wr.w, "$upscope $end\n")
+			fmt.Fprintf(w, "$scope module %s $end\n", child)
+			writeScope(w, full, names, widths, codes, idx)
+			fmt.Fprintf(w, "$upscope $end\n")
 			continue
 		}
 		if emitted[name] {
 			continue
 		}
 		emitted[name] = true
-		fmt.Fprintf(wr.w, "$var wire %d %s %s $end\n", wr.sigs[i].Width(), wr.codes[i], name)
+		fmt.Fprintf(w, "$var wire %d %s %s $end\n", widths[i], codes[i], name)
 	}
 }
 
