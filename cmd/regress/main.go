@@ -39,10 +39,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"crve/internal/closure"
 	"crve/internal/core"
@@ -72,6 +74,7 @@ type options struct {
 	fabricArg   string
 	wave        bool
 	legacyAlign bool
+	jsonOut     bool
 }
 
 func main() {
@@ -94,6 +97,7 @@ func main() {
 	flag.StringVar(&o.fabricArg, "fabric", "", "comma-separated topology files (*.fab) the matrix must compose into; checked by the lint gate")
 	flag.BoolVar(&o.wave, "wave", false, "keep compact binary waveform recordings per run (written as .crw with -out)")
 	flag.BoolVar(&o.legacyAlign, "legacy-align", false, "compute alignment via the legacy VCD write/parse/Compare round trip (ablation baseline)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the canonical JSON report on stdout (human summary moves to stderr) — byte-identical to the regressd report endpoint")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "regress:", err)
@@ -191,12 +195,19 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "lint: %s — continuing because -nolint is set\n", rep.Summary())
 	}
 
+	// With -json the canonical report owns stdout; everything human-facing
+	// (tables, logs, summaries) moves to stderr so piping stays clean.
+	hout := io.Writer(os.Stdout)
+	if o.jsonOut {
+		hout = os.Stderr
+	}
+
 	opt := regress.Options{
 		Tests: tests, Seeds: seeds, NoLint: true, Workers: o.jobs, // linted above
 		KernelStats: o.kernelstats, RecordWave: o.wave, LegacyAlignment: o.legacyAlign,
 	}
 	if o.verbose {
-		opt.Log = os.Stdout
+		opt.Log = hout
 	}
 	if o.cacheDir != "" {
 		cache, err := regress.OpenCache(o.cacheDir)
@@ -209,17 +220,22 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(regress.MatrixReport(results))
+	fmt.Fprint(hout, regress.MatrixReport(results))
 	signed := 0
 	for _, cr := range results {
 		if cr.SignedOff() {
 			signed++
 		}
 	}
-	fmt.Printf("signed off: %d/%d configurations\n", signed, len(results))
-	fmt.Printf("work units: %s\n", stats)
+	fmt.Fprintf(hout, "signed off: %d/%d configurations\n", signed, len(results))
+	fmt.Fprintf(hout, "work units: %s\n", stats)
+	// Wall-clock and throughput come from the engine's Stats — computed
+	// once, read everywhere — and go to stderr so report output stays
+	// deterministic (byte-identical across runs and -j widths).
+	fmt.Fprintf(os.Stderr, "elapsed %s, %d cycles simulated, %.0f cycles/s\n",
+		stats.Duration.Round(time.Millisecond), stats.Cycles, stats.Throughput())
 	if o.kernelstats {
-		fmt.Print(regress.KernelReport(results))
+		fmt.Fprint(hout, regress.KernelReport(results))
 	}
 
 	var notConverged int
@@ -235,13 +251,13 @@ func run(o options) error {
 				MaxIters: o.maxIters, Budget: o.budget,
 			}
 			if o.verbose {
-				copt.Log = os.Stdout
+				copt.Log = hout
 			}
 			res, err := closure.CloseGroup(cr.Cfg, cr.SuiteCoverage, copt)
 			if err != nil {
 				return err
 			}
-			closure.Text(os.Stdout, res.Trajectory)
+			closure.Text(hout, res.Trajectory)
 			cstats.Ran += res.ClosureStats.Ran
 			cstats.Cached += res.ClosureStats.Cached
 			if res.Trajectory.Converged {
@@ -267,15 +283,24 @@ func run(o options) error {
 				}
 			}
 		}
-		fmt.Printf("closure: %d configuration(s) closed, %d not converged, units %s\n",
+		fmt.Fprintf(hout, "closure: %d configuration(s) closed, %d not converged, units %s\n",
 			closed, notConverged, cstats)
+	}
+
+	if o.jsonOut {
+		// Built after closure so the coverage columns reflect whatever the
+		// closure loop bought — the same order of operations the service
+		// uses, keeping CLI and API reports diffable.
+		if err := regress.WriteJSON(os.Stdout, regress.BuildReport(results, stats)); err != nil {
+			return err
+		}
 	}
 
 	if o.outDir != "" {
 		if err := regress.WriteReports(o.outDir, results); err != nil {
 			return err
 		}
-		fmt.Printf("reports written to %s\n", o.outDir)
+		fmt.Fprintf(hout, "reports written to %s\n", o.outDir)
 	}
 	if signed != len(results) {
 		return fmt.Errorf("%d configuration(s) failed sign-off", len(results)-signed)

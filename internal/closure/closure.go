@@ -7,6 +7,7 @@ package closure
 // record; report.go renders it.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -84,14 +85,20 @@ func closureSeed(base int64, iter int) int64 {
 
 // Close runs the base suite on cfg and then closes its coverage holes.
 func Close(cfg nodespec.Config, opt Options) (*Result, error) {
-	base, stats, err := regress.Run([]nodespec.Config{cfg}, regress.Options{
+	return CloseCtx(context.Background(), cfg, opt)
+}
+
+// CloseCtx is Close under a cancellation context, threaded through the base
+// suite and every closure iteration.
+func CloseCtx(ctx context.Context, cfg nodespec.Config, opt Options) (*Result, error) {
+	base, stats, err := regress.RunCtx(ctx, []nodespec.Config{cfg}, regress.Options{
 		Tests: opt.Tests, Seeds: opt.Seeds, Bugs: opt.Bugs,
 		Log: opt.Log, NoLint: opt.NoLint, Workers: opt.Workers, Cache: opt.Cache,
 	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := CloseGroup(cfg, base[0].SuiteCoverage, opt)
+	res, err := CloseGroupCtx(ctx, cfg, base[0].SuiteCoverage, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +113,13 @@ func Close(cfg nodespec.Config, opt Options) (*Result, error) {
 // iterations, zero synthesized units and an untouched cache: closure on full
 // coverage is a no-op.
 func CloseGroup(cfg nodespec.Config, cov *coverage.Group, opt Options) (*Result, error) {
+	return CloseGroupCtx(context.Background(), cfg, cov, opt)
+}
+
+// CloseGroupCtx is CloseGroup under a cancellation context: the loop checks
+// ctx between iterations and the engine checks it within each one, so a
+// served closure job cancels promptly at any depth.
+func CloseGroupCtx(ctx context.Context, cfg nodespec.Config, cov *coverage.Group, opt Options) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	maxIters := opt.MaxIters
 	if maxIters <= 0 {
@@ -135,6 +149,9 @@ func CloseGroup(cfg nodespec.Config, cov *coverage.Group, opt Options) (*Result,
 
 	stall := 0
 	for iter := 1; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("closure: %s: %w", cfg.Name, err)
+		}
 		all := cov.Holes()
 		var live []coverage.Hole
 		for _, h := range all {
@@ -181,7 +198,7 @@ func CloseGroup(cfg nodespec.Config, cov *coverage.Group, opt Options) (*Result,
 		}
 		// Synthesized units bypass the lint gate: the configuration already
 		// passed it (or was explicitly -nolint'ed) before the base suite ran.
-		cres, err := regress.RunConfig(cfg, regress.Options{
+		cres, err := regress.RunConfigCtx(ctx, cfg, regress.Options{
 			Tests: tests, Seeds: []int64{seed}, Bugs: opt.Bugs,
 			Log: opt.Log, Workers: opt.Workers, Cache: opt.Cache,
 		})

@@ -14,6 +14,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"crve/internal/bca"
@@ -198,6 +199,14 @@ type RunOptions struct {
 // RunTest builds a fresh simulator, elaborates the requested view, wires the
 // common bench around it, runs the test to drain and collects every report.
 func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptions) (*RunResult, error) {
+	return RunTestCtx(context.Background(), cfg, view, test, seed, opt)
+}
+
+// RunTestCtx is RunTest under a cancellation context: the run loop polls ctx
+// every few cycles and aborts with ctx's error, so a served job can be
+// cancelled mid-simulation, not just between units. A context without a
+// cancel path (context.Background()) costs the hot loop nothing.
+func RunTestCtx(ctx context.Context, cfg nodespec.Config, view View, test Test, seed int64, opt RunOptions) (*RunResult, error) {
 	cfg = cfg.WithDefaults()
 	sm := sim.New()
 	dut, err := BuildDUT(sim.Root(sm), cfg, view, opt.Bugs)
@@ -279,7 +288,22 @@ func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptio
 		}
 		return true
 	}
+	cancelled := false
+	if ctx.Done() != nil {
+		inner := done
+		tick := 0
+		done = func() bool {
+			if tick++; tick&63 == 0 && ctx.Err() != nil {
+				cancelled = true
+				return true // stop RunUntil; the abort is detected below
+			}
+			return inner()
+		}
+	}
 	err = sm.RunUntil(done, limit)
+	if cancelled {
+		return nil, fmt.Errorf("core: %s %s seed %d: %w", view, test.Name, seed, ctx.Err())
+	}
 	res.Drained = err == nil
 	if err == nil {
 		// A short tail so registered responses and monitors settle.
@@ -345,11 +369,17 @@ func RunPair(cfg nodespec.Config, test Test, seed int64, bugs bca.Bugs) (*PairRe
 // built — DumpVCD and RecordWave are honoured as given, purely as artifact
 // requests. LegacyAlignment restores the write/parse/Compare round trip.
 func RunPairOpt(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*PairResult, error) {
+	return RunPairCtx(context.Background(), cfg, test, seed, opt)
+}
+
+// RunPairCtx is RunPairOpt under a cancellation context, threaded through
+// both view runs.
+func RunPairCtx(ctx context.Context, cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*PairResult, error) {
 	if opt.LegacyAlignment {
-		return runPairLegacy(cfg, test, seed, opt)
+		return runPairLegacy(ctx, cfg, test, seed, opt)
 	}
 	rtlOpt := RunOptions{DumpVCD: opt.DumpVCD, RecordWave: true, KernelStats: opt.KernelStats}
-	rres, err := RunTest(cfg, RTLView, test, seed, rtlOpt)
+	rres, err := RunTestCtx(ctx, cfg, RTLView, test, seed, rtlOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: RTL run: %w", err)
 	}
@@ -357,7 +387,7 @@ func RunPairOpt(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*Pa
 		DumpVCD: opt.DumpVCD, RecordWave: opt.RecordWave, AlignWith: rres.Wave,
 		KernelStats: opt.KernelStats, Bugs: opt.Bugs,
 	}
-	bres, err := RunTest(cfg, BCAView, test, seed, bcaOpt)
+	bres, err := RunTestCtx(ctx, cfg, BCAView, test, seed, bcaOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: BCA run: %w", err)
 	}
@@ -375,14 +405,14 @@ func RunPairOpt(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*Pa
 // runPairLegacy is the pre-streaming pipeline: dump both runs as text VCD,
 // parse both, Compare. Kept behind RunOptions.LegacyAlignment for ablation
 // and for the streaming-equivalence property test.
-func runPairLegacy(cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*PairResult, error) {
+func runPairLegacy(ctx context.Context, cfg nodespec.Config, test Test, seed int64, opt RunOptions) (*PairResult, error) {
 	rtlOpt := RunOptions{DumpVCD: true, RecordWave: opt.RecordWave, KernelStats: opt.KernelStats}
-	rres, err := RunTest(cfg, RTLView, test, seed, rtlOpt)
+	rres, err := RunTestCtx(ctx, cfg, RTLView, test, seed, rtlOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: RTL run: %w", err)
 	}
 	bcaOpt := RunOptions{DumpVCD: true, RecordWave: opt.RecordWave, KernelStats: opt.KernelStats, Bugs: opt.Bugs}
-	bres, err := RunTest(cfg, BCAView, test, seed, bcaOpt)
+	bres, err := RunTestCtx(ctx, cfg, BCAView, test, seed, bcaOpt)
 	if err != nil {
 		return nil, fmt.Errorf("core: BCA run: %w", err)
 	}

@@ -244,7 +244,10 @@ func (g *Group) EqualHits(o *Group) (bool, string) {
 		if len(it.bins) != len(oit.bins) {
 			return false, fmt.Sprintf("item %q bin count %d vs %d", name, len(it.bins), len(oit.bins))
 		}
-		for bn, b := range it.bins {
+		// Walk bins in declaration order so the reported first difference
+		// is deterministic even when several bins disagree.
+		for _, bn := range it.order {
+			b := it.bins[bn]
 			ob, ok := oit.bins[bn]
 			if !ok {
 				return false, fmt.Sprintf("item %q bin %q missing", name, bn)

@@ -1,0 +1,257 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"crve/internal/arb"
+	"crve/internal/nodespec"
+	"crve/internal/regress"
+	"crve/internal/stbus"
+)
+
+// cfgText renders a small, lint-clean configuration as inline .cfg text —
+// the form a Spec carries over the wire.
+func cfgText(t *testing.T, name string, pipe int) string {
+	t.Helper()
+	cfg := nodespec.Config{
+		Name:    name,
+		Port:    stbus.PortConfig{Type: stbus.Type3, DataBits: 32},
+		NumInit: 2, NumTgt: 2,
+		Arch:   nodespec.FullCrossbar,
+		ReqArb: arb.LRU, RespArb: arb.Priority,
+		Map:      stbus.UniformMap(2, 0x1000, 0x800),
+		PipeSize: pipe,
+	}.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return regress.FormatConfig(cfg)
+}
+
+// testManager builds a manager over a fresh cache directory.
+func testManager(t *testing.T, slots int) *Manager {
+	t.Helper()
+	cache, err := regress.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(Options{Cache: cache, Slots: slots, Workers: 2})
+}
+
+// waitTerminal polls a job to its terminal state.
+func waitTerminal(t *testing.T, job *Job) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := job.Status(); st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state (stuck at %s)", job.ID, job.Status().State)
+	return Status{}
+}
+
+func TestSpecValidation(t *testing.T) {
+	m := testManager(t, 1)
+	for name, spec := range map[string]Spec{
+		"empty":              {},
+		"quick needs matrix": {Quick: true},
+		"unknown test":       {Configs: []string{cfgText(t, "v0", 2)}, Tests: []string{"no_such_test"}},
+		"unparsable config":  {Configs: []string{"pipe_size = what"}},
+	} {
+		if _, err := m.Submit(spec); err == nil {
+			t.Errorf("%s: Submit accepted an invalid spec", name)
+		}
+	}
+}
+
+// TestJobLifecycle drives one job through queued→running→done and checks the
+// dedupe contract: an identical second job is served entirely from the
+// shared cache.
+func TestJobLifecycle(t *testing.T) {
+	m := testManager(t, 2)
+	spec := Spec{
+		Configs: []string{cfgText(t, "lc0", 4)},
+		Tests:   []string{"basic_write_read", "error_paths"},
+		Seeds:   []int64{1},
+	}
+	units := 2
+
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != Done {
+		t.Fatalf("job ended %s (%s), want done", st.State, st.Error)
+	}
+	if st.Progress.Done != units || st.Progress.Ran != units || st.Progress.Cached != 0 {
+		t.Errorf("cold job progress %+v, want %d done, all ran", st.Progress, units)
+	}
+	if st.SignedOff != 1 || st.Configs != 1 {
+		t.Errorf("signed off %d/%d, want 1/1", st.SignedOff, st.Configs)
+	}
+	if st.Started == nil || st.Finished == nil {
+		t.Error("terminal status must carry started/finished timestamps")
+	}
+	rep := job.Report()
+	if rep == nil || rep.Schema != regress.ReportSchema {
+		t.Fatalf("done job report = %+v, want schema %s", rep, regress.ReportSchema)
+	}
+	if job.Stats().Duration <= 0 {
+		t.Error("done job must carry a wall-clock duration")
+	}
+
+	// Identical second job: everything cached, zero simulated.
+	job2, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitTerminal(t, job2)
+	if st2.State != Done {
+		t.Fatalf("second job ended %s (%s), want done", st2.State, st2.Error)
+	}
+	if st2.Progress.Ran != 0 || st2.Progress.Cached != units {
+		t.Errorf("duplicate job progress %+v, want 0 ran, %d cached", st2.Progress, units)
+	}
+
+	// Reports agree on everything but the ran/cached split.
+	var b1, b2 bytes.Buffer
+	rep2 := job2.Report()
+	rep.Units, rep2.Units = regress.UnitTotals{}, regress.UnitTotals{}
+	for _, r := range [2]*regress.Report{rep, rep2} {
+		for i := range r.Configs {
+			for j := range r.Configs[i].Runs {
+				r.Configs[i].Runs[j].Cached = false
+			}
+		}
+	}
+	regress.WriteJSON(&b1, rep)
+	regress.WriteJSON(&b2, rep2)
+	if b1.String() != b2.String() {
+		t.Errorf("cache-served report diverged:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+// TestCancelQueuedAndRunning covers both cancel paths: a job cancelled while
+// waiting for a slot goes terminal immediately; a running job unwinds to
+// cancelled via its context.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	m := testManager(t, 1)                                                     // one slot: the second submission queues behind the first
+	big := Spec{Configs: []string{cfgText(t, "cr0", 4)}, Seeds: []int64{1, 2}} // all 12 tests × 2 seeds
+	running, err := m.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.Status(); st.State != Cancelled || st.Started != nil {
+		t.Errorf("queued job after cancel: %s (started %v), want cancelled and never started", st.State, st.Started)
+	}
+
+	// Let the first job actually start, then cancel it mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	for running.Status().State == Queued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, running)
+	if st.State != Cancelled && st.State != Done {
+		t.Fatalf("running job after cancel ended %s (%s), want cancelled (or done if it outran the cancel)", st.State, st.Error)
+	}
+	if st.State == Cancelled && st.Progress.Done >= st.Progress.Total {
+		t.Errorf("cancelled mid-run but all %d units completed", st.Progress.Total)
+	}
+	if err := m.Cancel(running.ID); err != nil {
+		t.Errorf("cancelling a terminal job must be a no-op, got %v", err)
+	}
+}
+
+// TestDrain is the graceful-shutdown contract: no new submissions, queued
+// jobs cancel, running jobs finish, Drain returns.
+func TestDrain(t *testing.T) {
+	m := testManager(t, 1)
+	spec := Spec{Configs: []string{cfgText(t, "dr0", 2)}, Tests: []string{"basic_write_read"}}
+	a, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(Spec{Configs: []string{cfgText(t, "dr1", 2)}, Seeds: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, job := range []*Job{a, b} {
+		if st := job.Status(); !st.State.Terminal() {
+			t.Errorf("job %s still %s after drain", job.ID, st.State)
+		}
+	}
+	if _, err := m.Submit(spec); err == nil {
+		t.Error("Submit after Drain must fail")
+	}
+	if err := m.Drain(ctx); err != nil {
+		t.Errorf("second Drain must be a no-op, got %v", err)
+	}
+}
+
+// TestSubscribe: subscribers see progress and a terminal snapshot; late
+// subscribers get exactly the terminal snapshot.
+func TestSubscribe(t *testing.T) {
+	m := testManager(t, 1)
+	job, err := m.Submit(Spec{Configs: []string{cfgText(t, "sub0", 2)}, Tests: []string{"basic_write_read", "error_paths"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := job.Subscribe()
+	defer cancel()
+	var last Status
+	sawTerminal := false
+	timeout := time.After(60 * time.Second)
+	for !sawTerminal {
+		select {
+		case st, ok := <-ch:
+			if !ok {
+				sawTerminal = last.State.Terminal()
+				if !sawTerminal {
+					t.Fatalf("subscription closed at non-terminal state %s", last.State)
+				}
+			} else {
+				last = st
+				sawTerminal = st.State.Terminal()
+			}
+		case <-timeout:
+			t.Fatal("no terminal event")
+		}
+	}
+	if last.State != Done {
+		t.Fatalf("terminal event state %s (%s), want done", last.State, last.Error)
+	}
+
+	late, lateCancel := job.Subscribe()
+	defer lateCancel()
+	select {
+	case st := <-late:
+		if st.State != Done {
+			t.Errorf("late subscriber got %s, want done", st.State)
+		}
+	case <-time.After(time.Second):
+		t.Error("late subscriber got nothing")
+	}
+}

@@ -1,6 +1,7 @@
 package regress
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sync"
 
 	"crve/internal/bca"
 	"crve/internal/core"
@@ -57,9 +59,20 @@ func CodeVersion() string {
 // workers — or concurrent regress processes sharing a directory — never
 // observe torn entries. Any unreadable, unparsable or version-mismatched
 // entry degrades to a miss.
+//
+// Within one process the cache is also a flight group: when several engine
+// runs share a Cache (the served, multi-tenant tier), the first goroutine to
+// miss on a key becomes its owner and everyone else blocks until the entry
+// lands, then loads it — two concurrent jobs submitting overlapping
+// (config, test, seed) units never simulate the same unit twice. Separate
+// processes sharing a directory stay correct (atomic entries) but may
+// duplicate work; the flight group is per-process by design.
 type Cache struct {
 	dir     string
 	version string
+
+	mu     sync.Mutex
+	flight map[string]chan struct{}
 }
 
 // OpenCache opens (creating if needed) a cache directory, keyed with the
@@ -68,7 +81,7 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("regress: cache: %w", err)
 	}
-	return &Cache{dir: dir, version: CodeVersion()}, nil
+	return &Cache{dir: dir, version: CodeVersion(), flight: make(map[string]chan struct{})}, nil
 }
 
 // Dir returns the backing directory.
@@ -124,6 +137,55 @@ func (c *Cache) Load(key string) (*core.PairRecord, bool) {
 		return nil, false
 	}
 	return ent.Pair, true
+}
+
+// acquire resolves a work unit against the cache and the in-process flight
+// group. It returns exactly one of:
+//
+//   - (rec, nil, nil): a valid entry exists — the unit is served from disk;
+//   - (nil, release, nil): the caller is now the flight owner for key and
+//     must simulate the unit, then call release exactly once (after Store on
+//     success, or bare on failure so waiters can take over);
+//   - (nil, nil, err): ctx was cancelled while waiting on another owner.
+//
+// While an owner is in flight every other acquire of the same key blocks,
+// then re-probes — the dedupe that makes a second identical job simulate
+// zero units even when submitted concurrently with the first.
+func (c *Cache) acquire(ctx context.Context, key string) (*core.PairRecord, func(), error) {
+	for {
+		if rec, ok := c.Load(key); ok {
+			return rec, nil, nil
+		}
+		c.mu.Lock()
+		ch, inFlight := c.flight[key]
+		if !inFlight {
+			c.flight[key] = make(chan struct{})
+			c.mu.Unlock()
+			// The previous owner may have stored and released between our
+			// Load miss and taking the lock; re-probe before simulating.
+			if rec, ok := c.Load(key); ok {
+				c.release(key)
+				return rec, nil, nil
+			}
+			return nil, func() { c.release(key) }, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// release ends the caller's flight ownership of key, waking every waiter.
+func (c *Cache) release(key string) {
+	c.mu.Lock()
+	if ch, ok := c.flight[key]; ok {
+		delete(c.flight, key)
+		close(ch)
+	}
+	c.mu.Unlock()
 }
 
 // Store persists the entry for key atomically (temp file + rename).

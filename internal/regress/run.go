@@ -1,6 +1,7 @@
 package regress
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -26,6 +27,11 @@ type Options struct {
 	Bugs bca.Bugs
 	// Log receives progress lines when non-nil (batch-mode output).
 	Log io.Writer
+	// Progress, when non-nil, receives one event per merged work unit, in
+	// canonical order, from the single merge goroutine — the structured
+	// counterpart of Log for callers (the job service) that track counters
+	// instead of text.
+	Progress func(Progress)
 	// NoLint skips the static-analysis gate in RunMatrix. By default a
 	// matrix with lint errors refuses to run: a mis-specified node config
 	// should fail in milliseconds, not mid-run after expensive cycles.
@@ -156,7 +162,12 @@ func (cr *ConfigResult) add(test string, seed int64, pair *core.PairResult, cach
 // is an error: a configuration that runs nothing must not produce a result
 // that could sign off. Parallelism and caching follow opt.Workers/opt.Cache.
 func RunConfig(cfg nodespec.Config, opt Options) (*ConfigResult, error) {
-	results, _, err := runEngine([]nodespec.Config{cfg}, opt, false)
+	return RunConfigCtx(context.Background(), cfg, opt)
+}
+
+// RunConfigCtx is RunConfig under a cancellation context (see RunCtx).
+func RunConfigCtx(ctx context.Context, cfg nodespec.Config, opt Options) (*ConfigResult, error) {
+	results, _, err := runEngine(ctx, []nodespec.Config{cfg}, opt, false)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +200,14 @@ func LintConfigs(cfgs []nodespec.Config, seeds []int64) *lint.Report {
 // and refuses to run on any Error-grade diagnostic — the whole point of the
 // static layer is to catch a bad config before the first simulation cycle.
 func Run(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, Stats, error) {
+	return RunCtx(context.Background(), cfgs, opt)
+}
+
+// RunCtx is Run under a cancellation context: cancelling ctx stops the
+// engine promptly mid-matrix (units already completed stay merged and, with
+// a cache, stored; unstarted units never run) and returns ctx's error. This
+// is the entry point of the served tier — one job, one context.
+func RunCtx(ctx context.Context, cfgs []nodespec.Config, opt Options) ([]*ConfigResult, Stats, error) {
 	if len(opt.Seeds) == 0 {
 		opt.Seeds = []int64{1}
 	}
@@ -217,7 +236,7 @@ func Run(cfgs []nodespec.Config, opt Options) ([]*ConfigResult, Stats, error) {
 			}
 		}
 	}
-	return runEngine(cfgs, opt, true)
+	return runEngine(ctx, cfgs, opt, true)
 }
 
 // RunMatrix is Run without the statistics, kept for callers that only need

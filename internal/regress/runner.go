@@ -11,23 +11,62 @@ package regress
 // output byte-identical to a serial run regardless of scheduling.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"crve/internal/core"
 	"crve/internal/nodespec"
 )
 
-// Stats counts how the engine satisfied a run's work units.
+// Stats counts how the engine satisfied a run's work units. The engine is
+// the one place throughput is computed: everything downstream — the CLI
+// summary, the service dashboard, CI — reads these fields instead of
+// re-deriving cycles/s ad hoc.
 type Stats struct {
 	// Ran counts units that were actually simulated; Cached counts units
 	// served from the incremental result cache.
 	Ran, Cached int
+	// Cycles totals the simulated cycles of ran units across both views.
+	// Cached units contribute nothing: they cost no simulation.
+	Cycles uint64
+	// Duration is the wall-clock time of the engine run. It is the only
+	// non-deterministic field, so the canonical report (BuildReport) and
+	// String() exclude it — byte-identical output stays byte-identical.
+	Duration time.Duration
 }
 
 func (s Stats) String() string {
 	return fmt.Sprintf("%d ran, %d cached", s.Ran, s.Cached)
+}
+
+// Throughput returns the run's simulation rate in cycles per second (0 when
+// nothing was simulated or no time elapsed).
+func (s Stats) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Cycles) / s.Duration.Seconds()
+}
+
+// Progress is one merged-work-unit notification, delivered to
+// Options.Progress from the merge goroutine in canonical order — the
+// injected sink a job manager counts on instead of parsing the log.
+type Progress struct {
+	// Done counts units merged so far; Total is the planned unit count.
+	Done, Total int
+	// Ran / Cached split Done by how the unit was satisfied; Cycles totals
+	// simulated cycles so far (both views, ran units only).
+	Ran, Cached int
+	Cycles      uint64
+	// Config, Test, Seed identify the unit just merged; FromCache reports
+	// whether it was served from the result cache.
+	Config    string
+	Test      string
+	Seed      int64
+	FromCache bool
 }
 
 // workUnit is one (configuration, test, seed) triple. idx is its position
@@ -53,7 +92,14 @@ type unitOutcome struct {
 // defaulted opt.Seeds; the lint gate (if any) runs before this point.
 // logHeaders controls the per-configuration banner line (RunMatrix prints
 // it, RunConfig historically does not).
-func runEngine(cfgs []nodespec.Config, opt Options, logHeaders bool) ([]*ConfigResult, Stats, error) {
+//
+// Cancelling ctx stops the run promptly: the producer stops feeding units,
+// in-flight units abort at their next cancellation check, and the engine
+// returns ctx's error after draining. Units that completed before the cancel
+// are already merged and (with a cache) stored; aborted units leave no cache
+// entry — a cancelled matrix leaves the store consistent, never torn.
+func runEngine(ctx context.Context, cfgs []nodespec.Config, opt Options, logHeaders bool) ([]*ConfigResult, Stats, error) {
+	start := time.Now()
 	if len(opt.Tests) == 0 {
 		return nil, Stats{}, fmt.Errorf("regress: empty test suite: Options.Tests must name at least one test (a zero-run configuration can never sign off)")
 	}
@@ -88,13 +134,16 @@ func runEngine(cfgs []nodespec.Config, opt Options, logHeaders bool) ([]*ConfigR
 	var stopOnce sync.Once
 	abort := func() { stopOnce.Do(func() { close(stop) }) }
 
-	// Producer: feeds units in canonical order, quits early on abort.
+	// Producer: feeds units in canonical order, quits early on abort or
+	// cancellation.
 	go func() {
 		defer close(work)
 		for _, u := range units {
 			select {
 			case work <- u:
 			case <-stop:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -107,7 +156,7 @@ func runEngine(cfgs []nodespec.Config, opt Options, logHeaders bool) ([]*ConfigR
 		go func() {
 			defer wg.Done()
 			for u := range work {
-				outcomes <- runUnit(u, opt)
+				outcomes <- runUnit(ctx, u, opt)
 			}
 		}()
 	}
@@ -159,6 +208,15 @@ func runEngine(cfgs []nodespec.Config, opt Options, logHeaders bool) ([]*ConfigR
 				stats.Cached++
 			} else {
 				stats.Ran++
+				stats.Cycles += cur.pair.RTL.Cycles + cur.pair.BCA.Cycles
+			}
+			if opt.Progress != nil {
+				opt.Progress(Progress{
+					Done: stats.Ran + stats.Cached, Total: len(units),
+					Ran: stats.Ran, Cached: stats.Cached, Cycles: stats.Cycles,
+					Config: u.cfg.Name, Test: u.test.Name, Seed: u.seed,
+					FromCache: cur.cached,
+				})
 			}
 			if opt.Log != nil {
 				suffix := ""
@@ -171,23 +229,40 @@ func runEngine(cfgs []nodespec.Config, opt Options, logHeaders bool) ([]*ConfigR
 			}
 		}
 	}
+	stats.Duration = time.Since(start)
+	if firstErr == nil {
+		// The producer may have quit on cancellation with every in-flight
+		// unit still completing cleanly; the run is nonetheless incomplete.
+		firstErr = ctx.Err()
+	}
 	if firstErr != nil {
 		return nil, stats, firstErr
 	}
 	return results, stats, nil
 }
 
-// runUnit executes one work unit: cache probe, simulation on a miss, cache
-// fill. Runs on a worker goroutine; everything it touches is unit-local.
-func runUnit(u workUnit, opt Options) unitOutcome {
+// runUnit executes one work unit: cache/flight probe, simulation on a miss,
+// cache fill. Runs on a worker goroutine; everything it touches is
+// unit-local. With a cache, the acquire/release flight protocol guarantees
+// at most one goroutine in the process ever simulates a given key, across
+// every engine run sharing the Cache.
+func runUnit(ctx context.Context, u workUnit, opt Options) unitOutcome {
 	var key string
 	if opt.Cache != nil {
 		key = opt.Cache.Key(u.cfg, u.test.Name, u.seed, opt.Bugs)
-		if rec, ok := opt.Cache.Load(key); ok {
+		rec, release, err := opt.Cache.acquire(ctx, key)
+		if err != nil {
+			return unitOutcome{idx: u.idx, err: fmt.Errorf("regress: %s/%s seed %d: %w", u.cfg.Name, u.test.Name, u.seed, err)}
+		}
+		if rec != nil {
 			return unitOutcome{idx: u.idx, pair: rec.Result(u.cfg), cached: true}
 		}
+		defer release()
 	}
-	pair, err := core.RunPairOpt(u.cfg, u.test, u.seed, core.RunOptions{
+	if err := ctx.Err(); err != nil {
+		return unitOutcome{idx: u.idx, err: fmt.Errorf("regress: %s/%s seed %d: %w", u.cfg.Name, u.test.Name, u.seed, err)}
+	}
+	pair, err := core.RunPairCtx(ctx, u.cfg, u.test, u.seed, core.RunOptions{
 		Bugs: opt.Bugs, KernelStats: opt.KernelStats,
 		RecordWave: opt.RecordWave, LegacyAlignment: opt.LegacyAlignment,
 	})
