@@ -169,7 +169,7 @@ func BenchmarkLegacyPair(b *testing.B) {
 
 // benchViewThroughput runs a saturating test on one view and reports
 // simulated cycles per second — the E5 metric.
-func benchViewThroughput(b *testing.B, view core.View) {
+func benchViewThroughput(b *testing.B, view core.View, opt core.RunOptions) {
 	cfg := refCfg()
 	tc, err := testcases.ByName("back_to_back")
 	if err != nil {
@@ -177,7 +177,7 @@ func benchViewThroughput(b *testing.B, view core.View) {
 	}
 	total := uint64(0)
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunTest(cfg, view, tc, 7, core.RunOptions{})
+		res, err := core.RunTest(cfg, view, tc, 7, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,11 +187,22 @@ func benchViewThroughput(b *testing.B, view core.View) {
 }
 
 // BenchmarkE5RTL measures RTL-view throughput in the common environment.
-func BenchmarkE5RTL(b *testing.B) { benchViewThroughput(b, core.RTLView) }
+func BenchmarkE5RTL(b *testing.B) {
+	benchViewThroughput(b, core.RTLView, core.RunOptions{})
+}
+
+// BenchmarkE5RTLCompiled measures the same RTL-view run under the compiled
+// bytecode backend — the PR 9 tier that fuses IR-declared processes into one
+// flat program over preresolved signal slots.
+func BenchmarkE5RTLCompiled(b *testing.B) {
+	benchViewThroughput(b, core.RTLView, core.RunOptions{Kernel: sim.KernelCompiled})
+}
 
 // BenchmarkE5BCAWrapped measures the wrapped BCA view — per the paper, the
 // wrapper costs it the standalone speed advantage.
-func BenchmarkE5BCAWrapped(b *testing.B) { benchViewThroughput(b, core.BCAView) }
+func BenchmarkE5BCAWrapped(b *testing.B) {
+	benchViewThroughput(b, core.BCAView, core.RunOptions{})
+}
 
 // BenchmarkE5BCAStandalone measures the bare transaction engine with
 // function-call harnesses, no signal kernel.

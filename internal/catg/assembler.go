@@ -89,12 +89,17 @@ func (a *TxAssembler) finishRequest(cyc uint64) {
 	}
 	a.seq++
 	a.pending = append(a.pending, &pendingTx{tr: tr, reqOp: first.Opc, reqAddr: first.Addr, seq: a.seq})
-	a.reqCells = nil
+	// Nothing above retains the cell slice (ExtractWriteData copies), so the
+	// buffer is reused across packets instead of reallocated.
+	a.reqCells = a.reqCells[:0]
 }
 
 func (a *TxAssembler) finishResponse(cyc uint64) {
+	// cells stays valid through this call — the next RespCell append that
+	// could overwrite the backing array happens only after it returns — and
+	// ExtractReadData copies, so the buffer is reused across packets.
 	cells := a.respCells
-	a.respCells = nil
+	a.respCells = a.respCells[:0]
 	first := cells[0]
 	// Pair with a pending request: Type III matches on (src, tid); the
 	// ordered protocols take the oldest pending request.

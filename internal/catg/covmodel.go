@@ -30,6 +30,25 @@ type CoverageModel struct {
 	hasChunk    bool
 	hasOOO      bool
 	multiInit   bool
+
+	// Preresolved bin handles (nil = bin undeclared for this configuration).
+	// The transaction sampler runs on every monitor's completion callback and
+	// dominated the RTL-view throughput profile when it formatted bin names
+	// and looked them up per event; with handles a sample is counter
+	// increments only. Resolved once by resolveBins after the group is
+	// declared; nil handles no-op on Inc, matching HitOK's tolerance of
+	// undeclared bins.
+	opBin                          [256]*coverage.Bin // opcode → "opcode" bin
+	lenBin                         [256]*coverage.Bin // opcode → "req_pkt_len" bin
+	initBin                        []*coverage.Bin
+	tgtBin                         []*coverage.Bin   // target → "route" bin
+	crossBin                       [][]*coverage.Bin // [initiator][target] → "init_x_route" bin
+	routeUnmappedBin, routeProgBin *coverage.Bin
+	respOKBin, respErrBin          *coverage.Bin
+	chunkPlainBin, chunkLockedBin  *coverage.Bin
+	orderInBin, orderReBin         *coverage.Bin
+	contSoloBin, contConcBin       *coverage.Bin
+	latBin                         [4]*coverage.Bin // lt5, lt10, lt20, ge20
 }
 
 // reachableOps lists the distinct opcodes the generator can emit.
@@ -156,7 +175,60 @@ func NewCoverageModel(node nodespec.Config, tc TrafficConfig) *CoverageModel {
 		g.Item("contention", "solo", "concurrent")
 	}
 	g.Item("latency", "lt5", "lt10", "lt20", "ge20")
+	cm.resolveBins()
 	return cm
+}
+
+// resolveBins fills the preresolved handle tables from the declared group.
+// Counter returns nil for bins this configuration never declared, and the
+// per-opcode tables are total over the opcode byte so the sampler can index
+// them without validity checks.
+func (cm *CoverageModel) resolveBins() {
+	g := cm.Group
+	opIt, lenIt := g.MustItem("opcode"), g.MustItem("req_pkt_len")
+	for o := 0; o < 256; o++ {
+		op := stbus.Opcode(o)
+		if !op.Valid() {
+			continue
+		}
+		cm.opBin[o] = opIt.Counter(op.String())
+		l := stbus.ReqLen(cm.node.Port.Type, op, cm.node.Port.BusBytes())
+		cm.lenBin[o] = lenIt.Counter(fmt.Sprintf("%dcell", l))
+	}
+	initIt, routeIt, crossIt := g.MustItem("initiator"), g.MustItem("route"), g.MustItem("init_x_route")
+	cm.initBin = make([]*coverage.Bin, cm.node.NumInit)
+	cm.crossBin = make([][]*coverage.Bin, cm.node.NumInit)
+	for i := 0; i < cm.node.NumInit; i++ {
+		cm.initBin[i] = initIt.Counter(fmt.Sprintf("init%d", i))
+		cm.crossBin[i] = make([]*coverage.Bin, cm.node.NumTgt)
+		for t := 0; t < cm.node.NumTgt; t++ {
+			cm.crossBin[i][t] = crossIt.Counter(fmt.Sprintf("init%d×tgt%d", i, t))
+		}
+	}
+	cm.tgtBin = make([]*coverage.Bin, cm.node.NumTgt)
+	for t := 0; t < cm.node.NumTgt; t++ {
+		cm.tgtBin[t] = routeIt.Counter(fmt.Sprintf("tgt%d", t))
+	}
+	cm.routeUnmappedBin = routeIt.Counter("unmapped")
+	cm.routeProgBin = routeIt.Counter("prog")
+	respIt := g.MustItem("response")
+	cm.respOKBin, cm.respErrBin = respIt.Counter("ok"), respIt.Counter("err")
+	if cm.hasChunk {
+		it := g.MustItem("chunk")
+		cm.chunkPlainBin, cm.chunkLockedBin = it.Counter("plain"), it.Counter("locked")
+	}
+	if cm.hasOOO {
+		it := g.MustItem("completion_order")
+		cm.orderInBin, cm.orderReBin = it.Counter("in_order"), it.Counter("reordered")
+	}
+	if cm.multiInit {
+		it := g.MustItem("contention")
+		cm.contSoloBin, cm.contConcBin = it.Counter("solo"), it.Counter("concurrent")
+	}
+	latIt := g.MustItem("latency")
+	for i, name := range []string{"lt5", "lt10", "lt20", "ge20"} {
+		cm.latBin[i] = latIt.Counter(name)
+	}
 }
 
 // SubscribeMonitors wires the model to the DUT's initiator-side monitors and
@@ -191,9 +263,9 @@ func (cm *CoverageModel) SampleContention(requesting int) {
 	}
 	switch {
 	case requesting > 1:
-		cm.Group.MustItem("contention").Hit("concurrent")
+		cm.contConcBin.Inc()
 	case requesting == 1:
-		cm.Group.MustItem("contention").Hit("solo")
+		cm.contSoloBin.Inc()
 	}
 }
 
@@ -203,54 +275,56 @@ func (cm *CoverageModel) SampleContention(requesting int) {
 // the out-of-order detector needs. Both a signal-level Monitor and the
 // transaction-level bench (internal/tlm) feed this entry point.
 func (cm *CoverageModel) SampleTransaction(tr *stbus.Transaction, completedSeq, oldestPending uint64) {
-	g := cm.Group
-	g.MustItem("opcode").HitOK(tr.Opc.String())
-	if tr.Initiator >= 0 {
-		g.MustItem("initiator").HitOK(fmt.Sprintf("init%d", tr.Initiator))
+	cm.opBin[tr.Opc].Inc()
+	if tr.Initiator >= 0 && tr.Initiator < len(cm.initBin) {
+		cm.initBin[tr.Initiator].Inc()
 	}
 	switch {
 	case tr.Target >= 0:
-		g.MustItem("route").HitOK(fmt.Sprintf("tgt%d", tr.Target))
-		g.MustItem("init_x_route").HitOK(fmt.Sprintf("init%d×tgt%d", tr.Initiator, tr.Target))
+		if tr.Target < len(cm.tgtBin) {
+			cm.tgtBin[tr.Target].Inc()
+		}
+		if tr.Initiator >= 0 && tr.Initiator < len(cm.crossBin) && tr.Target < len(cm.crossBin[tr.Initiator]) {
+			cm.crossBin[tr.Initiator][tr.Target].Inc()
+		}
 	case tr.Target == RouteUnmapped:
-		g.MustItem("route").HitOK("unmapped")
+		cm.routeUnmappedBin.Inc()
 	case tr.Target == RouteProg:
-		g.MustItem("route").HitOK("prog")
+		cm.routeProgBin.Inc()
 	}
 	if tr.Opc.Valid() {
-		l := stbus.ReqLen(cm.node.Port.Type, tr.Opc, cm.node.Port.BusBytes())
-		g.MustItem("req_pkt_len").HitOK(fmt.Sprintf("%dcell", l))
+		cm.lenBin[tr.Opc].Inc()
 	}
 	if tr.Err {
-		g.MustItem("response").HitOK("err")
+		cm.respErrBin.Inc()
 	} else {
-		g.MustItem("response").HitOK("ok")
+		cm.respOKBin.Inc()
 	}
 	if cm.hasChunk {
 		if tr.Lck {
-			g.MustItem("chunk").Hit("locked")
+			cm.chunkLockedBin.Inc()
 		} else {
-			g.MustItem("chunk").Hit("plain")
+			cm.chunkPlainBin.Inc()
 		}
 	}
 	if cm.hasOOO {
 		// Reordered when an older pending transaction still waits while this
 		// one completes.
 		if oldestPending != 0 && oldestPending < completedSeq {
-			g.MustItem("completion_order").Hit("reordered")
+			cm.orderReBin.Inc()
 		} else {
-			g.MustItem("completion_order").Hit("in_order")
+			cm.orderInBin.Inc()
 		}
 	}
 	lat := tr.Latency()
 	switch {
 	case lat < 5:
-		g.MustItem("latency").Hit("lt5")
+		cm.latBin[0].Inc()
 	case lat < 10:
-		g.MustItem("latency").Hit("lt10")
+		cm.latBin[1].Inc()
 	case lat < 20:
-		g.MustItem("latency").Hit("lt20")
+		cm.latBin[2].Inc()
 	default:
-		g.MustItem("latency").Hit("ge20")
+		cm.latBin[3].Inc()
 	}
 }

@@ -146,8 +146,10 @@ func (b *TargetBFM) tick() {
 			b.gap = 1 + b.rng.Intn(3)
 		}
 		if b.cur[len(b.cur)-1].EOP {
+			// serve consumes the cells synchronously, so the packet buffer is
+			// reused across packets instead of reallocated.
 			b.queue = append(b.queue, b.serve(b.cur))
-			b.cur = nil
+			b.cur = b.cur[:0]
 		}
 	} else if b.gap > 0 {
 		b.gap--

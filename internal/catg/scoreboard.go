@@ -63,7 +63,7 @@ type sbKey struct {
 // error found. Call it after the test drains.
 func (s *Scoreboard) Check() []string {
 	var errs []string
-	byKey := make(map[sbKey][]*stbus.Transaction)
+	byKey := make(map[sbKey][]*stbus.Transaction, len(s.tgtTxs))
 	for _, tr := range s.tgtTxs {
 		k := sbKey{src: tr.Src, tid: tr.TID, opc: tr.Opc, addr: tr.Addr}
 		byKey[k] = append(byKey[k], tr)

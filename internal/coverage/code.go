@@ -90,6 +90,32 @@ func (m *CodeMap) Branch(name string, taken bool) {
 	}
 }
 
+// Point is a preresolved handle to one declared code-coverage point.
+// Instrumentation hot enough that the per-hit map lookup matters resolves its
+// handles once at elaboration and hits through them during simulation — a
+// counter increment instead of a string hash. Handles stay valid for the
+// map's lifetime: Merge and ResetHits mutate the points in place.
+type Point struct{ p *codePoint }
+
+// Point declares the coverage point (a no-op when already declared) and
+// returns its preresolved handle.
+func (m *CodeMap) Point(kind PointKind, name string) Point {
+	m.Declare(kind, name)
+	return Point{m.points[name]}
+}
+
+// Hit records one execution of a line or statement point.
+func (pt Point) Hit() { pt.p.hits++ }
+
+// Branch records one evaluation of a branch point's direction.
+func (pt Point) Branch(taken bool) {
+	if taken {
+		pt.p.hits++
+	} else {
+		pt.p.missHits++
+	}
+}
+
 // Justify marks a point as analysed-unreachable for this configuration, so
 // it counts as covered in the "justified" metric (the paper's goal is
 // "100 % of justified code for the line coverage").

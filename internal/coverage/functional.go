@@ -64,6 +64,22 @@ func (it *Item) HitOK(name string) bool {
 	return ok
 }
 
+// Counter returns the declared bin's counter, or nil when the bin is
+// undeclared — the preresolved form of HitOK for samplers hot enough that
+// per-event name formatting and map lookups matter. The pointer stays valid
+// for the item's lifetime: Merge, ResetHits-style loops and reports all
+// mutate counts in place, never replace the Bin.
+func (it *Item) Counter(name string) *Bin { return it.bins[name] }
+
+// Inc samples the bin. Inc on a nil receiver is a no-op, mirroring HitOK's
+// tolerance of undeclared bins so callers can hold nil handles for bins a
+// configuration never declares.
+func (b *Bin) Inc() {
+	if b != nil {
+		b.Hits++
+	}
+}
+
 // Hits returns the hit count of bin name (0 if undeclared).
 func (it *Item) Hits(name string) uint64 {
 	if b, ok := it.bins[name]; ok {

@@ -19,7 +19,7 @@ import (
 
 // cacheSchema names the on-disk entry layout. Bump it whenever the record
 // format or the key derivation changes; stale entries then miss cleanly.
-const cacheSchema = "crve-regress-cache-v2"
+const cacheSchema = "crve-regress-cache-v3"
 
 // CodeVersion identifies the simulation semantics baked into cached results:
 // the cache schema plus, when the binary carries build metadata, the VCS
@@ -93,8 +93,14 @@ func (c *Cache) Dir() string { return c.dir }
 // the config by value, not by name: renaming a file moves nothing, editing
 // any parameter invalidates exactly that configuration's entries. Tests are
 // keyed by registry name and bug sets by their canonical rendering; the
-// code version covers everything else (test definitions included).
-func (c *Cache) Key(cfg nodespec.Config, testName string, seed int64, bugs bca.Bugs) string {
+// code version covers everything else (test definitions included). The
+// kernel backend is part of the key: a stored record carries that backend's
+// kernel profile, and equivalence runs must never serve one backend's
+// profile as another's.
+func (c *Cache) Key(cfg nodespec.Config, testName string, seed int64, bugs bca.Bugs, kernel string) string {
+	if kernel == "" {
+		kernel = "levelized"
+	}
 	h := sha256.New()
 	for _, part := range []string{
 		c.version,
@@ -102,6 +108,7 @@ func (c *Cache) Key(cfg nodespec.Config, testName string, seed int64, bugs bca.B
 		testName,
 		fmt.Sprintf("%d", seed),
 		fmt.Sprintf("%+v", bugs),
+		kernel,
 	} {
 		io.WriteString(h, part)
 		h.Write([]byte{0})

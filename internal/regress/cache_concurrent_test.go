@@ -41,7 +41,7 @@ func TestCacheConcurrentStoreLoad(t *testing.T) {
 			for i := 0; i < rounds; i++ {
 				// Contended keys: everyone stores and loads the same few.
 				test := fmt.Sprintf("shared%d", i%sharedKeys)
-				key := c.Key(cfg, test, 1, bca.Bugs{})
+				key := c.Key(cfg, test, 1, bca.Bugs{}, "")
 				if err := c.Store(key, cfg, test, 1, fakeRecord(test, 1)); err != nil {
 					t.Error(err)
 					return
@@ -53,7 +53,7 @@ func TestCacheConcurrentStoreLoad(t *testing.T) {
 				}
 				// Private keys: one writer each, must always hit after store.
 				priv := fmt.Sprintf("private%d_%d", g, i)
-				pkey := c.Key(cfg, priv, int64(g), bca.Bugs{})
+				pkey := c.Key(cfg, priv, int64(g), bca.Bugs{}, "")
 				if err := c.Store(pkey, cfg, priv, int64(g), fakeRecord(priv, int64(g))); err != nil {
 					t.Error(err)
 					return
@@ -121,7 +121,7 @@ func TestCacheFlightGroupDedupes(t *testing.T) {
 func TestCacheFlightOwnerFailureReleasesWaiters(t *testing.T) {
 	c := testCache(t, "fail")
 	cfg := StandardMatrix()[0]
-	key := c.Key(cfg, "t", 1, bca.Bugs{})
+	key := c.Key(cfg, "t", 1, bca.Bugs{}, "")
 
 	rec, release, err := c.acquire(context.Background(), key)
 	if err != nil || rec != nil || release == nil {

@@ -25,19 +25,24 @@ func testCache(t *testing.T, version string) *Cache {
 func TestCacheKeyDiscriminates(t *testing.T) {
 	c := testCache(t, "v1")
 	cfg := StandardMatrix()[0]
-	base := c.Key(cfg, "basic_write_read", 1, bca.Bugs{})
-	if base != c.Key(cfg, "basic_write_read", 1, bca.Bugs{}) {
+	base := c.Key(cfg, "basic_write_read", 1, bca.Bugs{}, "")
+	if base != c.Key(cfg, "basic_write_read", 1, bca.Bugs{}, "") {
 		t.Error("key is not stable")
+	}
+	// The empty kernel means the default backend explicitly.
+	if base != c.Key(cfg, "basic_write_read", 1, bca.Bugs{}, "levelized") {
+		t.Error("empty kernel and levelized must share a key")
 	}
 	edited := cfg
 	edited.PipeSize++
 	c2 := testCache(t, "v2")
 	distinct := map[string]string{
-		"config":  c.Key(edited, "basic_write_read", 1, bca.Bugs{}),
-		"test":    c.Key(cfg, "error_paths", 1, bca.Bugs{}),
-		"seed":    c.Key(cfg, "basic_write_read", 2, bca.Bugs{}),
-		"bugs":    c.Key(cfg, "basic_write_read", 1, bca.Bugs{LRUInit: true}),
-		"version": c2.Key(cfg, "basic_write_read", 1, bca.Bugs{}),
+		"config":  c.Key(edited, "basic_write_read", 1, bca.Bugs{}, ""),
+		"test":    c.Key(cfg, "error_paths", 1, bca.Bugs{}, ""),
+		"seed":    c.Key(cfg, "basic_write_read", 2, bca.Bugs{}, ""),
+		"bugs":    c.Key(cfg, "basic_write_read", 1, bca.Bugs{LRUInit: true}, ""),
+		"kernel":  c.Key(cfg, "basic_write_read", 1, bca.Bugs{}, "compiled"),
+		"version": c2.Key(cfg, "basic_write_read", 1, bca.Bugs{}, ""),
 	}
 	for dim, key := range distinct {
 		if key == base {
@@ -48,7 +53,7 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	// canonical config text and of every report.
 	renamed := cfg
 	renamed.Name = "elsewhere"
-	if c.Key(renamed, "basic_write_read", 1, bca.Bugs{}) == base {
+	if c.Key(renamed, "basic_write_read", 1, bca.Bugs{}, "") == base {
 		t.Error("renaming the config must change the key")
 	}
 }
@@ -56,7 +61,7 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 func TestCacheCorruptAndVersionMismatchAreMisses(t *testing.T) {
 	c := testCache(t, "v1")
 	cfg := StandardMatrix()[0]
-	key := c.Key(cfg, "t", 1, bca.Bugs{})
+	key := c.Key(cfg, "t", 1, bca.Bugs{}, "")
 	if _, ok := c.Load(key); ok {
 		t.Fatal("empty cache must miss")
 	}

@@ -21,6 +21,7 @@ package sim
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"strings"
 )
 
@@ -171,6 +172,27 @@ func (b Bits) shr(n int) Bits {
 	return r
 }
 
+// Byte returns byte i of the vector (byte 0 is bits 7..0). It is the
+// byte-aligned special case of Field(i*8, 8), cheap enough for the per-byte
+// lane packing the STBus data path performs on every cell.
+func (b Bits) Byte(i int) byte {
+	if i < 0 || i >= BitsWords*8 {
+		panic(fmt.Sprintf("sim: byte %d out of range", i))
+	}
+	return byte(b.v[i>>3] >> (uint(i&7) * 8))
+}
+
+// WithByte returns a copy of b with byte i replaced — the byte-aligned
+// special case of WithField(i*8, 8, val).
+func (b Bits) WithByte(i int, val byte) Bits {
+	if i < 0 || i >= BitsWords*8 {
+		panic(fmt.Sprintf("sim: byte %d out of range", i))
+	}
+	sh := uint(i&7) * 8
+	b.v[i>>3] = b.v[i>>3]&^(uint64(0xff)<<sh) | uint64(val)<<sh
+	return b
+}
+
 // Field extracts w bits starting at bit lo as the low bits of the result.
 // It panics if the field crosses the 256-bit capacity.
 func (b Bits) Field(lo, w int) Bits {
@@ -192,6 +214,27 @@ func (b Bits) WithField(lo, w int, val Bits) Bits {
 		b.v[i] = b.v[i]&^m.v[i] | v.v[i]
 	}
 	return b
+}
+
+// Add returns the multi-word sum of two vectors, wrapping at 256 bits.
+// Callers model a w-bit hardware adder by masking the result to w.
+func (b Bits) Add(o Bits) Bits {
+	var r Bits
+	var c uint64
+	for i := range r.v {
+		r.v[i], c = mathbits.Add64(b.v[i], o.v[i], c)
+	}
+	return r
+}
+
+// Ult reports whether b is less than o as unsigned 256-bit integers.
+func (b Bits) Ult(o Bits) bool {
+	for i := BitsWords - 1; i >= 0; i-- {
+		if b.v[i] != o.v[i] {
+			return b.v[i] < o.v[i]
+		}
+	}
+	return false
 }
 
 // Xor returns the bitwise exclusive-or of two vectors.

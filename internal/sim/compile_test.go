@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"testing"
+)
+
+// buildExprChain wires a depth-n IR chain s[i+1] = s[i] + 1 with a Seq
+// driver incrementing s[0] — the IR twin of buildChain.
+func buildExprChain(sm *Simulator, depth int) []*Signal {
+	sigs := make([]*Signal, depth+1)
+	for i := range sigs {
+		sigs[i] = sm.Signal("s", 16)
+	}
+	for i := 0; i < depth; i++ {
+		sm.CombExpr("chain", Assign{Dst: sigs[i+1], Src: Read(sigs[i]).Add(ConstU64(1, 16))})
+	}
+	sm.SeqExpr("drive", Assign{Dst: sigs[0], Src: Read(sigs[0]).Add(ConstU64(1, 16))})
+	return sigs
+}
+
+func TestCompiledChainMatchesLevelized(t *testing.T) {
+	const depth, cycles = 16, 10
+	run := func(k Kernel) (uint64, *KernelStats) {
+		sm := New()
+		sm.Kernel = k
+		sigs := buildExprChain(sm, depth)
+		for i := 0; i <= cycles; i++ {
+			if err := sm.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sigs[depth].U64(), sm.Stats()
+	}
+	lv, lks := run(KernelLevelized)
+	cv, cks := run(KernelCompiled)
+	if lv != cv {
+		t.Fatalf("chain output: levelized %d, compiled %d", lv, cv)
+	}
+	if lks.Compiled || lks.FusedProcs != 0 {
+		t.Errorf("levelized run reported compiled stats: %+v", lks)
+	}
+	if !cks.Compiled || cks.FusedProcs != depth+1 {
+		t.Errorf("compiled run fused %d procs (compiled=%v), want %d", cks.FusedProcs, cks.Compiled, depth+1)
+	}
+	if cks.FusedOps == 0 || cks.CompiledEvals == 0 {
+		t.Errorf("compiled run reported fused_ops=%d compiled_evals=%d", cks.FusedOps, cks.CompiledEvals)
+	}
+	// The whole comb chain is one fused segment: one delta per settle, same
+	// as levelized.
+	if lks.Deltas != cks.Deltas {
+		t.Errorf("deltas: levelized %d, compiled %d", lks.Deltas, cks.Deltas)
+	}
+}
+
+func TestCompiledStepIsAllocationFree(t *testing.T) {
+	sm := New()
+	sm.Kernel = KernelCompiled
+	buildExprChain(sm, 8)
+	if err := sm.Step(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := sm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("compiled Step allocates %.1f times per cycle, want 0", avg)
+	}
+}
+
+// TestCompiledMixedClosureAndFused interleaves closure processes with IR
+// processes in one dependency chain, so the schedule alternates segments and
+// levelized units and the cross-boundary dataflow must still settle in rank
+// order.
+func TestCompiledMixedClosureAndFused(t *testing.T) {
+	run := func(k Kernel) []uint64 {
+		sm := New()
+		sm.Kernel = k
+		a := sm.Signal("a", 8)
+		b := sm.Signal("b", 8)
+		c := sm.Signal("c", 8)
+		d := sm.Signal("d", 8)
+		e := sm.Signal("e", 8)
+		sm.CombExpr("b=a+1", Assign{Dst: b, Src: Read(a).Add(ConstU64(1, 8))})
+		sm.CombOut("c=b*2", func() { c.SetU64(b.U64() * 2) }, []*Signal{c}, b)
+		sm.CombExpr("d=c^5", Assign{Dst: d, Src: Read(c).Xor(ConstU64(5, 8))})
+		sm.CombExpr("e=mux", Assign{Dst: e, Src: Read(d).Field(0, 1).Mux(Read(b), Read(c))})
+		sm.Seq("drv", func() { a.SetU64(a.U64() + 3) })
+		var got []uint64
+		for i := 0; i < 6; i++ {
+			if err := sm.Step(); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, b.U64(), c.U64(), d.U64(), e.U64())
+		}
+		return got
+	}
+	lv := run(KernelLevelized)
+	cv := run(KernelCompiled)
+	for i := range lv {
+		if lv[i] != cv[i] {
+			t.Fatalf("value %d: levelized %d, compiled %d (lv=%v cv=%v)", i, lv[i], cv[i], lv, cv)
+		}
+	}
+}
+
+// TestCompiledCyclicSCCStaysClosure asserts a cyclic component keeps the
+// levelized fixpoint path under the compiled backend even when its members
+// are IR-declared, and still converges identically.
+func TestCompiledCyclicSCCStaysClosure(t *testing.T) {
+	run := func(k Kernel) (uint64, *KernelStats) {
+		sm := New()
+		sm.Kernel = k
+		set := sm.Bool("set")
+		rst := sm.Bool("rst")
+		q := sm.Bool("q")
+		// SR latch: q = set | (q & !rst) — a self-loop (cyclic SCC of one)
+		// that converges in a bounded number of fixpoint iterations.
+		sm.CombExpr("latch", Assign{Dst: q, Src: Read(set).Or(Read(q).And(Read(rst).Not()))})
+		cyc := 0
+		sm.Seq("drv", func() {
+			cyc++
+			set.SetBool(cyc == 1)
+			rst.SetBool(cyc == 3)
+		})
+		var err error
+		for i := 0; i < 5 && err == nil; i++ {
+			err = sm.Step()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q.U64(), sm.Stats()
+	}
+	lq, _ := run(KernelLevelized)
+	cq, cks := run(KernelCompiled)
+	if lq != cq {
+		t.Fatalf("latch: levelized %d, compiled %d", lq, cq)
+	}
+	if cks.FusedProcs != 0 {
+		t.Errorf("cyclic SCC fused %d procs, want 0", cks.FusedProcs)
+	}
+	if !cks.Compiled {
+		t.Errorf("compiled backend inactive")
+	}
+}
+
+// TestCompiledUndeclaredBackEdgeMopsUp plants a closure process that writes
+// a signal feeding an already-executed fused segment without declaring it —
+// the mop-up case the fusedStale flag exists for.
+func TestCompiledUndeclaredBackEdgeMopsUp(t *testing.T) {
+	restore := StrictSensitivity
+	StrictSensitivity = false // the test process reads outside its list by design
+	defer func() { StrictSensitivity = restore }()
+
+	run := func(k Kernel) []uint64 {
+		sm := New()
+		sm.Kernel = k
+		early := sm.Signal("early", 8)
+		out := sm.Signal("out", 8)
+		trig := sm.Signal("trig", 8)
+		late := sm.Signal("late", 8)
+		// Fused segment at low rank: out = early + 1.
+		sm.CombExpr("out", Assign{Dst: out, Src: Read(early).Add(ConstU64(1, 8))})
+		// Closure at higher rank (fed by trig -> late chain) that ALSO
+		// writes early without declaring it.
+		sm.CombOut("late", func() { late.SetU64(trig.U64() * 2) }, []*Signal{late}, trig)
+		sm.Comb("sneaky", func() {
+			if late.U64() > 4 {
+				early.SetU64(late.U64())
+			}
+		}, late)
+		sm.Seq("drv", func() { trig.SetU64(trig.U64() + 1) })
+		var got []uint64
+		for i := 0; i < 8; i++ {
+			if err := sm.Step(); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, out.U64(), early.U64(), late.U64())
+		}
+		return got
+	}
+	lv := run(KernelLevelized)
+	cv := run(KernelCompiled)
+	for i := range lv {
+		if lv[i] != cv[i] {
+			t.Fatalf("value %d: levelized %d, compiled %d (lv=%v cv=%v)", i, lv[i], cv[i], lv, cv)
+		}
+	}
+}
+
+// TestCompiledReelaboration registers a new process mid-run: the program is
+// dropped, the next Step re-freezes and re-fuses, and values stay coherent.
+func TestCompiledReelaboration(t *testing.T) {
+	sm := New()
+	sm.Kernel = KernelCompiled
+	a := sm.Signal("a", 8)
+	b := sm.Signal("b", 8)
+	sm.CombExpr("b=a+1", Assign{Dst: b, Src: Read(a).Add(ConstU64(1, 8))})
+	sm.Seq("drv", func() { a.SetU64(a.U64() + 1) })
+	for i := 0; i < 3; i++ {
+		if err := sm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := sm.Signal("c", 8)
+	sm.CombExpr("c=b+b", Assign{Dst: c, Src: Read(b).Add(Read(b))})
+	for i := 0; i < 3; i++ {
+		if err := sm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := a.U64() + 1; b.U64() != want {
+		t.Errorf("b = %d, want %d", b.U64(), want)
+	}
+	if want := 2 * b.U64(); c.U64() != want {
+		t.Errorf("c = %d, want %d", c.U64(), want)
+	}
+	ks := sm.Stats()
+	if ks.FusedProcs != 2 { // both comb IR procs; the Seq driver is a closure
+		t.Errorf("re-elaborated run fused %d procs, want 2", ks.FusedProcs)
+	}
+}
+
+// TestForceDeltaLoopOverridesCompiled keeps the ablation contract: with
+// ForceDeltaLoop set, the compiled backend never engages.
+func TestForceDeltaLoopOverridesCompiled(t *testing.T) {
+	sm := New()
+	sm.Kernel = KernelCompiled
+	sm.ForceDeltaLoop = true
+	buildExprChain(sm, 4)
+	for i := 0; i < 3; i++ {
+		if err := sm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks := sm.Stats()
+	if ks.Compiled || ks.Levelized || ks.FusedProcs != 0 {
+		t.Errorf("ForceDeltaLoop run reported compiled=%v levelized=%v fused=%d",
+			ks.Compiled, ks.Levelized, ks.FusedProcs)
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+		err  bool
+	}{
+		{"", KernelLevelized, false},
+		{"levelized", KernelLevelized, false},
+		{"compiled", KernelCompiled, false},
+		{"turbo", KernelLevelized, true},
+	} {
+		got, err := ParseKernel(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	if KernelCompiled.String() != "compiled" || KernelLevelized.String() != "levelized" {
+		t.Errorf("Kernel.String broken: %q %q", KernelCompiled, KernelLevelized)
+	}
+}
+
+// TestSeqExprDeltaSemantics: a SeqExpr write observes previous-cycle values
+// and commits at the settle boundary, like a handwritten Seq process.
+func TestSeqExprDeltaSemantics(t *testing.T) {
+	for _, k := range []Kernel{KernelLevelized, KernelCompiled} {
+		sm := New()
+		sm.Kernel = k
+		cnt := sm.Signal("cnt", 32)
+		shadow := sm.Signal("shadow", 32)
+		sm.SeqExpr("count", Assign{Dst: cnt, Src: Read(cnt).Add(ConstU64(1, 32))})
+		// shadow captures cnt's previous value: both seq procs read the same
+		// committed cnt regardless of registration order.
+		sm.SeqExpr("shadow", Assign{Dst: shadow, Src: Read(cnt)})
+		for i := 0; i < 5; i++ {
+			if err := sm.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cnt.U64() != 5 || shadow.U64() != 4 {
+			t.Errorf("kernel %v: cnt=%d shadow=%d, want 5, 4", k, cnt.U64(), shadow.U64())
+		}
+	}
+}
+
+func TestStatsTimingSampled(t *testing.T) {
+	sm := New()
+	sm.Kernel = KernelCompiled
+	sm.Timing = true
+	sigs := buildExprChain(sm, 4)
+	work := sm.Signal("work", 32)
+	sm.CombOut("busy", func() {
+		v := uint64(0)
+		for i := 0; i < 1000; i++ {
+			v += sigs[4].U64()
+		}
+		work.SetU64(v)
+	}, []*Signal{work}, sigs[4])
+	for i := 0; i < 200; i++ {
+		if err := sm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks := sm.Stats()
+	var busy ProcStat
+	for _, p := range ks.Procs {
+		if p.Name == "busy" {
+			busy = p
+		}
+	}
+	if busy.TimeNS == 0 {
+		t.Errorf("timed run recorded no wall time for the busy process")
+	}
+	top := ks.TopProcs(1)
+	if len(top) == 0 || top[0].TimeNS == 0 {
+		t.Errorf("TopProcs did not rank by time: %+v", top)
+	}
+}

@@ -1,0 +1,293 @@
+// The dataflow IR of the compiled execution tier.
+//
+// A process whose logic is a pure function of its input signals — no Go-side
+// state, no control flow beyond muxing — can describe that function as an
+// Expr tree instead of a closure. IR-declared processes still work under
+// every backend: the levelized scheduler and the legacy delta loop evaluate
+// them through a reference interpreter (Eval) that reads signals exactly like
+// handwritten process code would, while the compiled backend (compile.go)
+// fuses them into one flat bytecode program over preresolved signal slots at
+// the elaboration freeze.
+//
+// Width discipline: every Expr node has a fixed result width, and every value
+// flowing out of a node is masked to that width. The bytecode interpreter and
+// the reference evaluator share these rules, which is what FuzzExprEval
+// cross-checks.
+
+package sim
+
+import "fmt"
+
+// exprOp enumerates the IR node kinds.
+type exprOp uint8
+
+const (
+	exRead exprOp = iota
+	exConst
+	exAnd
+	exOr
+	exXor
+	exNot
+	exField
+	exWithField
+	exMux
+	exEq
+	exLt
+	exAdd
+)
+
+// Expr is one node of the dataflow IR: a slot read, a constant, or a
+// combinational operator over subexpressions. Expr trees are built once at
+// elaboration and registered with CombExpr/SeqExpr; they are immutable
+// afterwards.
+type Expr struct {
+	op      exprOp
+	a, b, c *Expr
+	sig     *Signal
+	k       Bits
+	// lo is the field offset of exField/exWithField nodes.
+	lo int
+	// w is the result width of the node in bits; every value produced by the
+	// node is masked to w.
+	w int
+}
+
+// Width returns the result width of the expression in bits.
+func (e *Expr) Width() int { return e.w }
+
+// Read returns an expression reading signal s. The result width is the
+// signal width.
+func Read(s *Signal) *Expr {
+	if s == nil {
+		panic("sim: Read of nil signal")
+	}
+	return &Expr{op: exRead, sig: s, w: s.width}
+}
+
+// Const returns a w-bit constant expression holding v masked to w.
+func Const(v Bits, w int) *Expr {
+	if w <= 0 || w > MaxBitsWidth {
+		panic(fmt.Sprintf("sim: const width %d out of range 1..%d", w, MaxBitsWidth))
+	}
+	return &Expr{op: exConst, k: v.Mask(w), w: w}
+}
+
+// ConstU64 returns a w-bit constant expression from a 64-bit value.
+func ConstU64(v uint64, w int) *Expr { return Const(B64(v), w) }
+
+// ConstBool returns a 1-bit constant expression.
+func ConstBool(v bool) *Expr { return Const(BBool(v), 1) }
+
+func maxw(a, b *Expr) int {
+	if a.w >= b.w {
+		return a.w
+	}
+	return b.w
+}
+
+// And returns the bitwise and of e and o (width: the wider operand).
+func (e *Expr) And(o *Expr) *Expr { return &Expr{op: exAnd, a: e, b: o, w: maxw(e, o)} }
+
+// Or returns the bitwise or of e and o (width: the wider operand).
+func (e *Expr) Or(o *Expr) *Expr { return &Expr{op: exOr, a: e, b: o, w: maxw(e, o)} }
+
+// Xor returns the bitwise exclusive-or of e and o (width: the wider operand).
+func (e *Expr) Xor(o *Expr) *Expr { return &Expr{op: exXor, a: e, b: o, w: maxw(e, o)} }
+
+// Not returns the bitwise complement of e within its own width.
+func (e *Expr) Not() *Expr { return &Expr{op: exNot, a: e, w: e.w} }
+
+// Field extracts w bits of e starting at bit lo.
+func (e *Expr) Field(lo, w int) *Expr {
+	if lo < 0 || w < 0 || lo+w > MaxBitsWidth {
+		panic(fmt.Sprintf("sim: expr field [%d +%d] out of range", lo, w))
+	}
+	return &Expr{op: exField, a: e, lo: lo, w: w}
+}
+
+// WithField returns e with w bits starting at lo replaced by the low w bits
+// of val. The field must lie inside e's width.
+func (e *Expr) WithField(lo, w int, val *Expr) *Expr {
+	if lo < 0 || w < 0 || lo+w > e.w {
+		panic(fmt.Sprintf("sim: expr with-field [%d +%d] outside width %d", lo, w, e.w))
+	}
+	if val.w != w {
+		// Normalize the value to exactly the field width: evaluation inserts
+		// e.b.w bits, so a wider value must truncate and a narrower one must
+		// zero-extend over the whole field.
+		val = &Expr{op: exField, a: val, w: w}
+	}
+	return &Expr{op: exWithField, a: e, b: val, lo: lo, w: e.w}
+}
+
+// Mux returns then when e is non-zero, els otherwise (width: the wider of
+// the two arms).
+func (e *Expr) Mux(then, els *Expr) *Expr {
+	return &Expr{op: exMux, a: e, b: then, c: els, w: maxw(then, els)}
+}
+
+// Eq returns a 1-bit expression reporting equality of e and o.
+func (e *Expr) Eq(o *Expr) *Expr { return &Expr{op: exEq, a: e, b: o, w: 1} }
+
+// Lt returns a 1-bit expression reporting e < o as unsigned integers.
+func (e *Expr) Lt(o *Expr) *Expr { return &Expr{op: exLt, a: e, b: o, w: 1} }
+
+// Add returns the sum of e and o. The result width is one bit wider than the
+// wider operand (the carry out), capped at the vector capacity.
+func (e *Expr) Add(o *Expr) *Expr {
+	w := maxw(e, o) + 1
+	if w > MaxBitsWidth {
+		w = MaxBitsWidth
+	}
+	return &Expr{op: exAdd, a: e, b: o, w: w}
+}
+
+// Eval evaluates the expression against the current committed signal values,
+// reading through Signal.Get so strict-sensitivity checking applies. This is
+// the reference interpreter: the levelized and delta-loop backends run
+// IR-declared processes through it, and the fuzz harness cross-checks the
+// bytecode interpreter against it.
+func (e *Expr) Eval() Bits {
+	switch e.op {
+	case exRead:
+		return e.sig.Get()
+	case exConst:
+		return e.k
+	case exAnd:
+		return e.a.Eval().And(e.b.Eval())
+	case exOr:
+		return e.a.Eval().Or(e.b.Eval())
+	case exXor:
+		return e.a.Eval().Xor(e.b.Eval())
+	case exNot:
+		return e.a.Eval().Not(e.w)
+	case exField:
+		return e.a.Eval().Field(e.lo, e.w)
+	case exWithField:
+		return e.a.Eval().WithField(e.lo, e.b.w, e.b.Eval())
+	case exMux:
+		if e.a.Eval().Bool() {
+			return e.b.Eval()
+		}
+		return e.c.Eval()
+	case exEq:
+		return BBool(e.a.Eval().Equal(e.b.Eval()))
+	case exLt:
+		return BBool(e.a.Eval().Ult(e.b.Eval()))
+	case exAdd:
+		return e.a.Eval().Add(e.b.Eval()).Mask(e.w)
+	default:
+		panic(fmt.Sprintf("sim: bad expr op %d", e.op))
+	}
+}
+
+// reads appends every distinct signal the expression reads, in first-
+// appearance order, to dst (using seen for dedup) and returns dst.
+func (e *Expr) reads(dst []*Signal, seen map[*Signal]bool) []*Signal {
+	if e == nil {
+		return dst
+	}
+	if e.op == exRead {
+		if !seen[e.sig] {
+			seen[e.sig] = true
+			dst = append(dst, e.sig)
+		}
+		return dst
+	}
+	if e.a != nil {
+		dst = e.a.reads(dst, seen)
+	}
+	if e.b != nil {
+		dst = e.b.reads(dst, seen)
+	}
+	if e.c != nil {
+		dst = e.c.reads(dst, seen)
+	}
+	return dst
+}
+
+// Assign binds a destination signal to the expression driving it.
+type Assign struct {
+	Dst *Signal
+	Src *Expr
+}
+
+// irSens derives the deduplicated input-signal list of a set of assignments
+// in first-appearance order — the exact sensitivity list of the process.
+func irSens(assigns []Assign) []*Signal {
+	seen := make(map[*Signal]bool)
+	var sens []*Signal
+	for _, a := range assigns {
+		sens = a.Src.reads(sens, seen)
+	}
+	return sens
+}
+
+// irFallback builds the closure the non-compiled backends run for an
+// IR-declared process: evaluate each assignment through the reference
+// interpreter and schedule the writes like handwritten process code.
+func irFallback(assigns []Assign) func() {
+	return func() {
+		for _, a := range assigns {
+			a.Dst.Set(a.Src.Eval())
+		}
+	}
+}
+
+func (sm *Simulator) checkAssigns(name string, assigns []Assign) {
+	if len(assigns) == 0 {
+		panic(fmt.Sprintf("sim: process %q declares no assignments", name))
+	}
+	for _, a := range assigns {
+		if a.Dst == nil || a.Src == nil {
+			panic(fmt.Sprintf("sim: process %q has a nil assignment", name))
+		}
+		if a.Dst.sim != sm {
+			panic(fmt.Sprintf("sim: process %q assigns foreign signal %q", name, a.Dst.name))
+		}
+	}
+}
+
+// CombExpr registers a combinational process described entirely by the IR:
+// each assignment drives its destination with its expression. Sensitivity
+// (the signals the expressions read) and outputs are derived exactly, so the
+// levelized scheduler ranks the process with no learning fallback — and the
+// compiled backend fuses it into the flat bytecode program at the
+// elaboration freeze.
+func (sm *Simulator) CombExpr(name string, assigns ...Assign) {
+	sm.checkAssigns(name, assigns)
+	sens := irSens(assigns)
+	for _, s := range sens {
+		if s.sim != sm {
+			panic(fmt.Sprintf("sim: process %q reads foreign signal %q", name, s.name))
+		}
+	}
+	outs := make([]*Signal, 0, len(assigns))
+	for _, a := range assigns {
+		outs = append(outs, a.Dst)
+	}
+	sm.addComb(name, irFallback(assigns), outs, true, sens)
+	sm.combs[len(sm.combs)-1].ir = assigns
+}
+
+// SeqExpr registers a sequential process described by the IR: once per cycle
+// each assignment schedules its expression's value onto its destination,
+// observing the values settled at the end of the previous cycle. Under the
+// compiled backend the process executes as a small bytecode program instead
+// of the reference interpreter.
+func (sm *Simulator) SeqExpr(name string, assigns ...Assign) {
+	sm.checkAssigns(name, assigns)
+	sm.Seq(name, irFallback(assigns))
+	sm.seqs[len(sm.seqs)-1].ir = assigns
+}
+
+// CombExpr registers an IR-declared combinational process named under this
+// scope.
+func (sc Scope) CombExpr(name string, assigns ...Assign) {
+	sc.sim.CombExpr(sc.join(name), assigns...)
+}
+
+// SeqExpr registers an IR-declared sequential process named under this scope.
+func (sc Scope) SeqExpr(name string, assigns ...Assign) {
+	sc.sim.SeqExpr(sc.join(name), assigns...)
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+)
+
+// fuzzCursor deals bytes from the fuzz input; exhausted input yields zeros,
+// which steers the generator toward leaves.
+type fuzzCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *fuzzCursor) byte() byte {
+	if c.pos >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b
+}
+
+func (c *fuzzCursor) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(c.byte()) % n
+}
+
+func (c *fuzzCursor) bits() Bits {
+	var w [BitsWords]uint64
+	for i := range w {
+		for j := 0; j < 8; j++ {
+			w[i] = w[i]<<8 | uint64(c.byte())
+		}
+	}
+	return BWords(w[:]...)
+}
+
+// fuzzWidths samples the interesting width classes: sub-word, word-boundary
+// straddlers, exactly one word, and multi-word vectors.
+var fuzzWidths = []int{1, 3, 8, 16, 17, 31, 63, 64, 65, 100, 127, 128, 129, 200, 255, 256}
+
+// genExpr builds a random expression over sigs, deterministically from the
+// cursor. Exhausted input degenerates to Read(sigs[0]).
+func genExpr(c *fuzzCursor, sigs []*Signal, depth int) *Expr {
+	if depth <= 0 {
+		if c.byte()%2 == 0 {
+			return Read(sigs[c.intn(len(sigs))])
+		}
+		return Const(c.bits(), fuzzWidths[c.intn(len(fuzzWidths))])
+	}
+	switch c.byte() % 12 {
+	case 0:
+		return Read(sigs[c.intn(len(sigs))])
+	case 1:
+		return Const(c.bits(), fuzzWidths[c.intn(len(fuzzWidths))])
+	case 2:
+		return genExpr(c, sigs, depth-1).And(genExpr(c, sigs, depth-1))
+	case 3:
+		return genExpr(c, sigs, depth-1).Or(genExpr(c, sigs, depth-1))
+	case 4:
+		return genExpr(c, sigs, depth-1).Xor(genExpr(c, sigs, depth-1))
+	case 5:
+		return genExpr(c, sigs, depth-1).Not()
+	case 6:
+		a := genExpr(c, sigs, depth-1)
+		lo := c.intn(a.Width())
+		w := 1 + c.intn(a.Width()-lo)
+		return a.Field(lo, w)
+	case 7:
+		a := genExpr(c, sigs, depth-1)
+		lo := c.intn(a.Width())
+		w := 1 + c.intn(a.Width()-lo)
+		return a.WithField(lo, w, genExpr(c, sigs, depth-1))
+	case 8:
+		return genExpr(c, sigs, depth-1).Mux(genExpr(c, sigs, depth-1), genExpr(c, sigs, depth-1))
+	case 9:
+		return genExpr(c, sigs, depth-1).Eq(genExpr(c, sigs, depth-1))
+	case 10:
+		return genExpr(c, sigs, depth-1).Lt(genExpr(c, sigs, depth-1))
+	default:
+		return genExpr(c, sigs, depth-1).Add(genExpr(c, sigs, depth-1))
+	}
+}
+
+// FuzzExprEval cross-checks the compiled backend's bytecode interpreter
+// against the reference evaluator: the same random expression over the same
+// random slot values must produce identical results through the fused
+// program (KernelCompiled), the levelized closure fallback, and a direct
+// Eval of the tree.
+func FuzzExprEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0, 1, 11, 0, 1})
+	f.Add([]byte{7, 5, 0, 200, 40, 8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{11, 11, 11, 0, 0, 255, 255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nin = 4
+		// Deal the input widths and values once, then replay the identical
+		// tree under each backend.
+		hdr := &fuzzCursor{data: data}
+		var widths [nin]int
+		var vals [nin]Bits
+		for i := 0; i < nin; i++ {
+			widths[i] = fuzzWidths[hdr.intn(len(fuzzWidths))]
+			vals[i] = hdr.bits().Mask(widths[i])
+		}
+		body := data[hdr.pos:]
+
+		build := func(k Kernel) (*Simulator, *Signal, *Expr) {
+			sm := New()
+			sm.Kernel = k
+			sigs := make([]*Signal, nin)
+			for i := range sigs {
+				sigs[i] = sm.Signal("in", widths[i])
+			}
+			e := genExpr(&fuzzCursor{data: body}, sigs, 4)
+			out := sm.Signal("out", e.Width())
+			sm.CombExpr("dut", Assign{Dst: out, Src: e})
+			sm.Seq("drv", func() {
+				for i, s := range sigs {
+					s.Set(vals[i])
+				}
+			})
+			return sm, out, e
+		}
+
+		smC, outC, eC := build(KernelCompiled)
+		if err := smC.Step(); err != nil {
+			t.Fatal(err)
+		}
+		smL, outL, _ := build(KernelLevelized)
+		if err := smL.Step(); err != nil {
+			t.Fatal(err)
+		}
+
+		got := outC.Get()
+		ref := eC.Eval() // inputs are committed now; Eval sees the same slots
+		if !got.Equal(ref) {
+			t.Errorf("compiled exec = %v, reference Eval = %v", got, ref)
+		}
+		if lv := outL.Get(); !lv.Equal(got) {
+			t.Errorf("compiled exec = %v, levelized fallback = %v", got, lv)
+		}
+		if ks := smC.Stats(); !ks.Compiled || ks.FusedProcs != 1 {
+			t.Errorf("expression process did not fuse: %+v", ks)
+		}
+	})
+}

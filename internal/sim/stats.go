@@ -5,7 +5,14 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
+
+// timeBase anchors the monotonic clock the sampled-timing profile reads.
+var timeBase = time.Now()
+
+// nowNS returns monotonic nanoseconds since process start.
+func nowNS() int64 { return int64(time.Since(timeBase)) }
 
 // settleHistBuckets sizes the settle-depth histogram: bucket i counts
 // settles that took i deltas, with the last bucket absorbing deeper ones.
@@ -21,6 +28,13 @@ type ProcStat struct {
 	// processes and when levelization is off).
 	Rank   int  `json:"rank"`
 	Cyclic bool `json:"cyclic,omitempty"`
+	// Fused marks a process executing inside the compiled backend's fused
+	// bytecode program rather than as a Go closure.
+	Fused bool `json:"fused,omitempty"`
+	// TimeNS is the extrapolated evaluation wall time (1-in-8 sampling,
+	// scaled), collected when the simulator's Timing flag is set. Segment
+	// time of fused processes is apportioned by op count.
+	TimeNS int64 `json:"time_ns,omitempty"`
 }
 
 // SCCStat describes one cyclic strongly connected component of the process
@@ -40,6 +54,15 @@ type KernelStats struct {
 	Deltas    uint64 `json:"deltas"`
 	Settles   uint64 `json:"settles"`
 	Levelized bool   `json:"levelized"`
+	// Compiled reports the compiled backend was active; FusedProcs and
+	// FusedOps size the fused bytecode program (processes absorbed and
+	// total instructions), and CompiledEvals/ClosureEvals split process
+	// evaluations by dispatch mechanism.
+	Compiled      bool   `json:"compiled,omitempty"`
+	FusedProcs    int    `json:"fused_procs,omitempty"`
+	FusedOps      int    `json:"fused_ops,omitempty"`
+	CompiledEvals uint64 `json:"compiled_evals,omitempty"`
+	ClosureEvals  uint64 `json:"closure_evals,omitempty"`
 	// Ranks is the number of topological ranks (0 when levelization is off).
 	Ranks int `json:"ranks,omitempty"`
 	// Units counts SCC scheduling units; CyclicSCCs inventories the cyclic
@@ -56,10 +79,28 @@ type KernelStats struct {
 // registration order), then sequential ones.
 func (sm *Simulator) Stats() *KernelStats {
 	ks := &KernelStats{
-		Cycles:    sm.cycle,
-		Deltas:    sm.DeltaCount,
-		Settles:   sm.settles,
-		Levelized: sm.units != nil,
+		Cycles:        sm.cycle,
+		Deltas:        sm.DeltaCount,
+		Settles:       sm.settles,
+		Levelized:     sm.units != nil,
+		Compiled:      sm.prog != nil,
+		CompiledEvals: sm.compiledEvals,
+		ClosureEvals:  sm.closureEvals,
+	}
+	// Fused processes never evaluate through eval() after the freeze; their
+	// counts and sampled time derive from their segment (time apportioned by
+	// op share).
+	segEvals := make(map[*process]uint64)
+	segTime := make(map[*process]int64)
+	if sm.prog != nil {
+		ks.FusedProcs = sm.prog.fusedProcs
+		ks.FusedOps = sm.prog.fusedOps
+		for _, seg := range sm.prog.segs {
+			for _, p := range seg.procs {
+				segEvals[p] = seg.runs
+				segTime[p] = seg.sampleNS * 8 / int64(len(seg.procs))
+			}
+		}
 	}
 	if sm.units != nil {
 		ks.Ranks = sm.maxRank + 1
@@ -86,14 +127,23 @@ func (sm *Simulator) Stats() *KernelStats {
 		ks.SettleDepth = append([]uint64(nil), hist[:last+1]...)
 	}
 	for _, p := range sm.combs {
-		st := ProcStat{Name: p.name, Evals: p.evals, Rank: -1}
+		st := ProcStat{Name: p.name, Evals: p.evals, Rank: -1, TimeNS: p.sampleNS * 8}
 		if sm.units != nil {
 			st.Rank, st.Cyclic = p.rank, p.cyclic
+		}
+		if p.fused {
+			st.Fused = true
+			st.Evals += segEvals[p]
+			st.TimeNS += segTime[p]
 		}
 		ks.Procs = append(ks.Procs, st)
 	}
 	for _, p := range sm.seqs {
-		ks.Procs = append(ks.Procs, ProcStat{Name: p.name, Seq: true, Evals: p.evals, Rank: -1})
+		st := ProcStat{Name: p.name, Seq: true, Evals: p.evals, Rank: -1, TimeNS: p.sampleNS * 8}
+		if p.seqCode != nil {
+			st.Fused = true
+		}
+		ks.Procs = append(ks.Procs, st)
 	}
 	return ks
 }
@@ -106,10 +156,23 @@ func (ks *KernelStats) DeltasPerCycle() float64 {
 	return float64(ks.Deltas) / float64(ks.Cycles)
 }
 
-// TopProcs returns the n most-evaluated processes (ties break by name).
+// TopProcs returns the n hottest processes. When the profile carries sampled
+// wall time (the simulator ran with Timing set) processes rank by time —
+// the adoption list for the IR should be measured, not guessed — otherwise
+// by evaluation count. Ties break by evals, then name.
 func (ks *KernelStats) TopProcs(n int) []ProcStat {
 	procs := append([]ProcStat(nil), ks.Procs...)
+	timed := false
+	for _, p := range procs {
+		if p.TimeNS > 0 {
+			timed = true
+			break
+		}
+	}
 	sort.Slice(procs, func(a, b int) bool {
+		if timed && procs[a].TimeNS != procs[b].TimeNS {
+			return procs[a].TimeNS > procs[b].TimeNS
+		}
 		if procs[a].Evals != procs[b].Evals {
 			return procs[a].Evals > procs[b].Evals
 		}
@@ -131,10 +194,14 @@ func (ks *KernelStats) Merge(o *KernelStats) {
 	ks.Cycles += o.Cycles
 	ks.Deltas += o.Deltas
 	ks.Settles += o.Settles
+	ks.CompiledEvals += o.CompiledEvals
+	ks.ClosureEvals += o.ClosureEvals
 	if len(ks.Procs) == 0 {
 		ks.Levelized = o.Levelized
 		ks.Ranks, ks.Units = o.Ranks, o.Units
 		ks.CyclicSCCs = o.CyclicSCCs
+		ks.Compiled = o.Compiled
+		ks.FusedProcs, ks.FusedOps = o.FusedProcs, o.FusedOps
 	}
 	for len(ks.SettleDepth) < len(o.SettleDepth) {
 		ks.SettleDepth = append(ks.SettleDepth, 0)
@@ -149,6 +216,7 @@ func (ks *KernelStats) Merge(o *KernelStats) {
 	for _, p := range o.Procs {
 		if i, ok := byName[p.Name]; ok {
 			ks.Procs[i].Evals += p.Evals
+			ks.Procs[i].TimeNS += p.TimeNS
 		} else {
 			ks.Procs = append(ks.Procs, p)
 		}
@@ -163,8 +231,14 @@ func (ks *KernelStats) Text(w io.Writer, topN int) {
 	if ks.Levelized {
 		mode = fmt.Sprintf("levelized (%d ranks, %d units, %d cyclic)", ks.Ranks, ks.Units, len(ks.CyclicSCCs))
 	}
+	if ks.Compiled {
+		mode = fmt.Sprintf("compiled (%d fused procs, %d ops) over %s", ks.FusedProcs, ks.FusedOps, mode)
+	}
 	fmt.Fprintf(w, "kernel: %d cycles, %d deltas (%.3f deltas/cycle), %d settles, %s\n",
 		ks.Cycles, ks.Deltas, ks.DeltasPerCycle(), ks.Settles, mode)
+	if ks.CompiledEvals > 0 {
+		fmt.Fprintf(w, "evals: %d compiled, %d closure\n", ks.CompiledEvals, ks.ClosureEvals)
+	}
 	if len(ks.SettleDepth) > 0 {
 		fmt.Fprintf(w, "settle depth:")
 		for i, v := range ks.SettleDepth {
@@ -184,7 +258,18 @@ func (ks *KernelStats) Text(w io.Writer, topN int) {
 	}
 	top := ks.TopProcs(topN)
 	if len(top) > 0 {
-		fmt.Fprintf(w, "top processes by evaluations:\n")
+		timed := false
+		for _, p := range top {
+			if p.TimeNS > 0 {
+				timed = true
+				break
+			}
+		}
+		metric := "evaluations"
+		if timed {
+			metric = "sampled wall time"
+		}
+		fmt.Fprintf(w, "top processes by %s:\n", metric)
 		for i, p := range top {
 			kind := "comb"
 			if p.Seq {
@@ -197,7 +282,14 @@ func (ks *KernelStats) Text(w io.Writer, topN int) {
 					rank += " (cyclic)"
 				}
 			}
-			fmt.Fprintf(w, "  %2d. %-40s %-4s %10d evals%s\n", i+1, p.Name, kind, p.Evals, rank)
+			if p.Fused {
+				rank += "  fused"
+			}
+			t := ""
+			if timed {
+				t = fmt.Sprintf("  %8.3fms", float64(p.TimeNS)/1e6)
+			}
+			fmt.Fprintf(w, "  %2d. %-40s %-4s %10d evals%s%s\n", i+1, p.Name, kind, p.Evals, t, rank)
 		}
 	}
 }

@@ -33,16 +33,13 @@ func Bind(sm *sim.Simulator, initSide, tgtSide *Port) {
 		{tgtSide.RTID, initSide.RTID}, {tgtSide.RSrc, initSide.RSrc},
 	}
 	copyProc := func(name string, pairs [][2]*sim.Signal) {
-		var sens, outs []*sim.Signal
-		for _, p := range pairs {
-			sens = append(sens, p[0])
-			outs = append(outs, p[1])
+		// Declared as IR so the compiled backend fuses the port map into the
+		// flat bytecode program (each pair becomes one slot-to-slot copy).
+		assigns := make([]sim.Assign, len(pairs))
+		for i, p := range pairs {
+			assigns[i] = sim.Assign{Dst: p[1], Src: sim.Read(p[0])}
 		}
-		sm.CombOut(name, func() {
-			for _, p := range pairs {
-				p[1].Set(p[0].Get())
-			}
-		}, outs, sens...)
+		sm.CombExpr(name, assigns...)
 	}
 	copyProc("bind."+initSide.Name+">"+tgtSide.Name, fwd)
 	copyProc("bind."+tgtSide.Name+">"+initSide.Name, bwd)

@@ -105,8 +105,7 @@ func fullBE(busBytes int) uint64 {
 func PackLanes(e Endianness, addr uint64, payload []byte, busBytes int) sim.Bits {
 	var w sim.Bits
 	for i, b := range payload {
-		ln := e.lane(addr+uint64(i), busBytes)
-		w = w.WithField(ln*8, 8, sim.B64(uint64(b)))
+		w = w.WithByte(e.lane(addr+uint64(i), busBytes), b)
 	}
 	return w
 }
@@ -116,8 +115,7 @@ func PackLanes(e Endianness, addr uint64, payload []byte, busBytes int) sim.Bits
 func UnpackLanes(e Endianness, addr uint64, w sim.Bits, size, busBytes int) []byte {
 	out := make([]byte, size)
 	for i := range out {
-		ln := e.lane(addr+uint64(i), busBytes)
-		out[i] = byte(w.Field(ln*8, 8).Uint64())
+		out[i] = w.Byte(e.lane(addr+uint64(i), busBytes))
 	}
 	return out
 }
@@ -235,7 +233,9 @@ func ExtractWriteData(e Endianness, cells []Cell, busBytes int) []byte {
 		if len(out)+take > size {
 			take = size - len(out)
 		}
-		out = append(out, UnpackLanes(e, c.Addr, c.Data, take, busBytes)...)
+		for i := 0; i < take; i++ {
+			out = append(out, c.Data.Byte(e.lane(c.Addr+uint64(i), busBytes)))
+		}
 	}
 	return out
 }
@@ -257,7 +257,10 @@ func ExtractReadData(e Endianness, op Opcode, addr uint64, cells []RespCell, bus
 		if len(out)+take > size {
 			take = size - len(out)
 		}
-		out = append(out, UnpackLanes(e, addr+uint64(i*busBytes), c.Data, take, busBytes)...)
+		a := addr + uint64(i*busBytes)
+		for k := 0; k < take; k++ {
+			out = append(out, c.Data.Byte(e.lane(a+uint64(k), busBytes)))
+		}
 	}
 	return out
 }

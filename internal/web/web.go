@@ -69,6 +69,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		Matrix:      r.Form.Get("matrix") != "",
 		Quick:       r.Form.Get("quick") != "",
 		KernelStats: r.Form.Get("kernelstats") != "",
+		Kernel:      strings.TrimSpace(r.Form.Get("kernel")),
 		RecordWave:  r.Form.Get("record_wave") != "",
 		Close:       r.Form.Get("close") != "",
 	}
