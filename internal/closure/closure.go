@@ -182,7 +182,10 @@ func CloseGroupCtx(ctx context.Context, cfg nodespec.Config, cov *coverage.Group
 			break
 		}
 
-		units := Plan(cfg, live, iter)
+		// Dose each recipe by its measured record so far: recipes whose
+		// previous attempts yielded no new bins escalate geometrically,
+		// productive ones stay at the base dose.
+		units := PlanWith(cfg, live, HistoryOf(traj))
 		if len(units) == 0 {
 			traj.Reason = core.ClosureStalled
 			break

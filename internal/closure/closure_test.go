@@ -368,3 +368,68 @@ func TestPlanCoversEveryHole(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanFeedbackEscalatesOnlyBarrenRecipes(t *testing.T) {
+	cfg := holesConfig()
+	holes := []coverage.Hole{{Item: "opcode", Bin: "SWAP1"}, {Item: "latency", Bin: "ge20"}}
+	base := PlanWith(cfg, holes, nil)
+	if len(base) != 2 {
+		t.Fatalf("plan size %d, want 2", len(base))
+	}
+	slug0, slug1 := unitSlug(base[0].Test.Name), unitSlug(base[1].Test.Name)
+	if slug0 == "" || slug1 == "" || slug0 == slug1 {
+		t.Fatalf("bad slugs %q, %q from %q, %q", slug0, slug1, base[0].Test.Name, base[1].Test.Name)
+	}
+
+	// Only slug1's recipe has come back empty: its unit must change (a
+	// bigger dose re-fingerprints the traffic) while slug0's stays
+	// byte-identical, preserving its cache identity.
+	esc := PlanWith(cfg, holes, History{slug1: {Attempts: 2, Barren: 2}})
+	if esc[0].Test.Name != base[0].Test.Name {
+		t.Errorf("productive recipe %s changed: %q -> %q", slug0, base[0].Test.Name, esc[0].Test.Name)
+	}
+	if esc[1].Test.Name == base[1].Test.Name {
+		t.Errorf("barren recipe %s did not escalate: still %q", slug1, base[1].Test.Name)
+	}
+
+	// A recipe whose last attempt yielded bins is back at the base dose no
+	// matter how many attempts preceded it.
+	reset := PlanWith(cfg, holes, History{slug1: {Attempts: 5, Barren: 0}})
+	if reset[1].Test.Name != base[1].Test.Name {
+		t.Errorf("recipe %s with reset barren streak escalated: %q -> %q", slug1, base[1].Test.Name, reset[1].Test.Name)
+	}
+
+	// The dose is capped: three consecutive barren rounds saturate at
+	// maxOps, exactly like the legacy iteration ramp at iter 4 and beyond.
+	capped := PlanWith(cfg, holes, History{slug0: {Barren: 3}, slug1: {Barren: 9}})
+	legacy := Plan(cfg, holes, 4)
+	for i := range capped {
+		if capped[i].Test.Name != legacy[i].Test.Name {
+			t.Errorf("unit %d: capped history %q != legacy saturated ramp %q", i, capped[i].Test.Name, legacy[i].Test.Name)
+		}
+	}
+}
+
+func TestHistoryOfAttributesPerRecipe(t *testing.T) {
+	traj := &core.ClosureTrajectory{Iterations: []core.ClosureIteration{
+		{Units: []core.ClosureUnit{
+			{Test: "closure/pkt_len@abc", NewBins: 0},
+			{Test: "closure/union@s1", NewBins: 2},
+		}},
+		{Units: []core.ClosureUnit{
+			{Test: "closure/pkt_len@def", NewBins: 0},
+			{Test: "closure/union@s2", NewBins: 0},
+			{Test: "smoke", NewBins: 0}, // foreign name: ignored
+		}},
+	}}
+	h := HistoryOf(traj)
+	if len(h) != 2 {
+		t.Fatalf("history has %d slugs, want 2: %v", len(h), h)
+	}
+	if st := h["pkt_len"]; st.Attempts != 2 || st.Barren != 2 {
+		t.Errorf("pkt_len = %+v, want {Attempts:2 Barren:2}", st)
+	}
+	if st := h["union"]; st.Attempts != 2 || st.Barren != 1 {
+		t.Errorf("union = %+v, want {Attempts:2 Barren:1} (yield resets the streak)", st)
+	}
+}

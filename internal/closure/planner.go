@@ -38,18 +38,111 @@ type Unit struct {
 }
 
 // planner carries the per-Plan state: the defaulted configuration and the
-// operation count for this iteration (later iterations push more stimulus at
-// the surviving holes).
+// dosing feedback that sizes each recipe's operation count.
 type planner struct {
-	cfg nodespec.Config
-	ops int
+	cfg  nodespec.Config
+	hist History
+	// assumeBarren is Plan's legacy global ramp: with no measured history,
+	// every recipe is dosed as if this many prior attempts had closed
+	// nothing.
+	assumeBarren int
 }
 
-// Plan maps a hole set to biased follow-up units. It is pure and
+// Operation-count dosing: every recipe starts at baseOps; each measured
+// consecutive zero-yield attempt of that recipe doubles the dose up to
+// maxOps (the same ceiling the old blind 40*iter ramp had).
+const (
+	baseOps = 40
+	maxOps  = 320
+)
+
+// SlugStats is the measured outcome history of one planner recipe.
+type SlugStats struct {
+	// Attempts counts units planned with this slug across all iterations.
+	Attempts int
+	// Barren counts the consecutive most-recent attempts that closed no
+	// bin — the signal that the current dose is not enough.
+	Barren int
+}
+
+// History maps planner recipe slugs (the part of a synthesized test name
+// between "closure/" and "@") to their measured outcomes. It feeds PlanWith
+// so later iterations escalate stimulus only where it measurably failed.
+type History map[string]SlugStats
+
+// HistoryOf digests a closure trajectory into planner history: every
+// recorded unit is attributed to its recipe slug, and a unit that closed at
+// least one new bin resets the recipe's barren streak.
+func HistoryOf(traj *core.ClosureTrajectory) History {
+	h := History{}
+	for _, it := range traj.Iterations {
+		for _, u := range it.Units {
+			slug := unitSlug(u.Test)
+			if slug == "" {
+				continue
+			}
+			st := h[slug]
+			st.Attempts++
+			if u.NewBins == 0 {
+				st.Barren++
+			} else {
+				st.Barren = 0
+			}
+			h[slug] = st
+		}
+	}
+	return h
+}
+
+// unitSlug extracts the recipe slug from a synthesized test name of the form
+// "closure/<slug>@<fingerprint>", or "" for foreign names.
+func unitSlug(name string) string {
+	rest, ok := strings.CutPrefix(name, "closure/")
+	if !ok {
+		return ""
+	}
+	slug, _, _ := strings.Cut(rest, "@")
+	return slug
+}
+
+// opsFor sizes one recipe's operation count from its measured history: the
+// base dose, doubled once per consecutive zero-yield attempt, capped. A
+// recipe that closed bins last time stays at the base dose — the next
+// iteration's fresh seed explores new stimulus at the same cost — while one
+// that keeps coming back empty escalates geometrically.
+func (p *planner) opsFor(slug string) int {
+	barren := p.assumeBarren
+	if st, ok := p.hist[slug]; ok {
+		barren = st.Barren
+	}
+	ops := baseOps
+	for ; barren > 0 && ops < maxOps; barren-- {
+		ops *= 2
+	}
+	if ops > maxOps {
+		ops = maxOps
+	}
+	return ops
+}
+
+// Plan maps a hole set to biased follow-up units with no measured history:
+// iteration number stands in for feedback, dosing every recipe as if the
+// iter-1 prior rounds had all come back empty. It is pure and
 // deterministic: the same (cfg, holes, iter) always yields the same units in
-// the same order, with the same content-hashed names. Holes the planner has
-// no recipe for fall into one catch-all union-traffic unit, so no hole is
-// ever silently dropped.
+// the same order, with the same content-hashed names.
+func Plan(cfg nodespec.Config, holes []coverage.Hole, iter int) []Unit {
+	if iter < 1 {
+		iter = 1
+	}
+	return plan(cfg, holes, nil, iter-1)
+}
+
+// PlanWith maps a hole set to biased follow-up units using measured
+// per-recipe coverage deltas (HistoryOf a trajectory in progress): stimulus
+// escalates only where prior rounds measurably failed to close bins, instead
+// of ramping every recipe in lockstep. Like Plan it is pure and
+// deterministic in its inputs. Holes the planner has no recipe for fall into
+// one catch-all union-traffic unit, so no hole is ever silently dropped.
 //
 // The model-shaping traffic fields (Kinds, Sizes, UnmappedPct, ProgPct,
 // ChunkPct) are kept uniform across initiators within a unit: the per-run
@@ -57,16 +150,13 @@ type planner struct {
 // chasing must be declared by the unit's own model or its hits are dropped
 // before the merge. Per-initiator bias uses only Ops, Targets, IdlePct and
 // PriMax, which do not shape the model.
-func Plan(cfg nodespec.Config, holes []coverage.Hole, iter int) []Unit {
+func PlanWith(cfg nodespec.Config, holes []coverage.Hole, hist History) []Unit {
+	return plan(cfg, holes, hist, 0)
+}
+
+func plan(cfg nodespec.Config, holes []coverage.Hole, hist History, assumeBarren int) []Unit {
 	cfg = cfg.WithDefaults()
-	if iter < 1 {
-		iter = 1
-	}
-	ops := 40 * iter
-	if ops > 320 {
-		ops = 320
-	}
-	p := &planner{cfg: cfg, ops: ops}
+	p := &planner{cfg: cfg, hist: hist, assumeBarren: assumeBarren}
 
 	// Bucket the holes by item; bin order within an item follows the holes
 	// slice (declaration order).
@@ -222,7 +312,7 @@ func (p *planner) opcodeUnits(missing []string) []Unit {
 			continue
 		}
 		sort.Ints(sizes)
-		tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{k}, Sizes: sizes}
+		tc := catg.TrafficConfig{Ops: p.opsFor("opcode_" + kindSlug(k)), Kinds: []stbus.OpKind{k}, Sizes: sizes}
 		units = append(units, p.unit("opcode_"+kindSlug(k), holesByKind[k],
 			p.uniform(tc), p.targets(catg.TargetConfig{MinLatency: 0, MaxLatency: 2, QueueDepth: 8})))
 	}
@@ -269,7 +359,7 @@ func (p *planner) pktLenUnit(missing []string) (Unit, bool) {
 		return Unit{}, false
 	}
 	sort.Ints(sizes)
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: kinds, Sizes: sizes}
+	tc := catg.TrafficConfig{Ops: p.opsFor("pkt_len"), Kinds: kinds, Sizes: sizes}
 	return p.unit("pkt_len", hs, p.uniform(tc),
 		p.targets(catg.TargetConfig{MinLatency: 0, MaxLatency: 2, QueueDepth: 8})), true
 }
@@ -316,7 +406,7 @@ func (p *planner) routesUnit(routeBins, crossBins []string) (Unit, bool) {
 	}
 	traffic := make([]catg.TrafficConfig, p.cfg.NumInit)
 	for i := range traffic {
-		tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4, 8}}
+		tc := catg.TrafficConfig{Ops: p.opsFor("routes"), Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4, 8}}
 		if missing := perInit[i]; len(missing) > 0 {
 			var ts []int
 			for t := range missing {
@@ -342,14 +432,14 @@ func (p *planner) errorUnit(routeHole, respHole bool) Unit {
 	if respHole {
 		hs = append(hs, coverage.Hole{Item: "response", Bin: "err"})
 	}
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}, UnmappedPct: 60}
+	tc := catg.TrafficConfig{Ops: p.opsFor("error_paths"), Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}, UnmappedPct: 60}
 	return p.unit("error_paths", hs, p.uniform(tc),
 		p.targets(catg.TargetConfig{MinLatency: 0, MaxLatency: 3}))
 }
 
 func (p *planner) progUnit() Unit {
 	hs := []coverage.Hole{{Item: "route", Bin: "prog"}}
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}, ProgPct: 50}
+	tc := catg.TrafficConfig{Ops: p.opsFor("prog"), Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}, ProgPct: 50}
 	return p.unit("prog", hs, p.uniform(tc),
 		p.targets(catg.TargetConfig{MinLatency: 0, MaxLatency: 3}))
 }
@@ -372,7 +462,7 @@ func (p *planner) initiatorUnit(missing []string) (Unit, bool) {
 	}
 	traffic := make([]catg.TrafficConfig, p.cfg.NumInit)
 	for i := range traffic {
-		tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}}
+		tc := catg.TrafficConfig{Ops: p.opsFor("initiators"), Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}}
 		if !want[i] {
 			tc.Ops = 4
 			tc.IdlePct = 60
@@ -391,7 +481,7 @@ func (p *planner) plainUnit(respOK, chunkPlain bool) Unit {
 	if chunkPlain {
 		hs = append(hs, coverage.Hole{Item: "chunk", Bin: "plain"})
 	}
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{1, 4, 8}}
+	tc := catg.TrafficConfig{Ops: p.opsFor("plain"), Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{1, 4, 8}}
 	if chunkPlain {
 		// The chunk item is declared only when ChunkPct > 0; a trace of
 		// chunked traffic keeps the bin declared while most operations stay
@@ -404,7 +494,7 @@ func (p *planner) plainUnit(respOK, chunkPlain bool) Unit {
 
 func (p *planner) chunkUnit() Unit {
 	hs := []coverage.Hole{{Item: "chunk", Bin: "locked"}}
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4, 8}, ChunkPct: 65}
+	tc := catg.TrafficConfig{Ops: p.opsFor("chunk"), Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4, 8}, ChunkPct: 65}
 	return p.unit("chunk", hs, p.uniform(tc),
 		p.targets(catg.TargetConfig{MinLatency: 0, MaxLatency: 3}))
 }
@@ -413,7 +503,7 @@ func (p *planner) chunkUnit() Unit {
 // slow-ish targets, so the arbiter sees overlapping requests.
 func (p *planner) contentionConcurrentUnit() Unit {
 	hs := []coverage.Hole{{Item: "contention", Bin: "concurrent"}}
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}, PriMax: 15}
+	tc := catg.TrafficConfig{Ops: p.opsFor("contention_concurrent"), Kinds: []stbus.OpKind{stbus.KindLoad, stbus.KindStore}, Sizes: []int{4}, PriMax: 15}
 	return p.unit("contention_concurrent", hs, p.uniform(tc),
 		p.targets(catg.TargetConfig{MinLatency: 2, MaxLatency: 5, QueueDepth: 2}))
 }
@@ -424,7 +514,7 @@ func (p *planner) contentionSoloUnit() Unit {
 	hs := []coverage.Hole{{Item: "contention", Bin: "solo"}}
 	traffic := make([]catg.TrafficConfig, p.cfg.NumInit)
 	for i := range traffic {
-		tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}, IdlePct: 40}
+		tc := catg.TrafficConfig{Ops: p.opsFor("contention_solo"), Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}, IdlePct: 40}
 		if i != 0 {
 			tc.Ops = 3
 			tc.IdlePct = 0
@@ -439,7 +529,7 @@ func (p *planner) contentionSoloUnit() Unit {
 // loads from one initiator to targets of very different speed.
 func (p *planner) reorderedUnit() Unit {
 	hs := []coverage.Hole{{Item: "completion_order", Bin: "reordered"}}
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}}
+	tc := catg.TrafficConfig{Ops: p.opsFor("ooo_reordered"), Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}}
 	targets := make([]catg.TargetConfig, p.cfg.NumTgt)
 	for t := range targets {
 		if t%2 == 0 {
@@ -453,7 +543,7 @@ func (p *planner) reorderedUnit() Unit {
 
 func (p *planner) inOrderUnit() Unit {
 	hs := []coverage.Hole{{Item: "completion_order", Bin: "in_order"}}
-	tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}, IdlePct: 60}
+	tc := catg.TrafficConfig{Ops: p.opsFor("ooo_in_order"), Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}, IdlePct: 60}
 	return p.unit("ooo_in_order", hs, p.uniform(tc),
 		p.targets(catg.TargetConfig{MinLatency: 1, MaxLatency: 1}))
 }
@@ -486,7 +576,7 @@ func (p *planner) latencyUnits(missing []string) []Unit {
 			continue
 		}
 		hs := []coverage.Hole{{Item: "latency", Bin: r.bin}}
-		tc := catg.TrafficConfig{Ops: p.ops, Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}, IdlePct: r.idle}
+		tc := catg.TrafficConfig{Ops: p.opsFor("lat_" + r.bin), Kinds: []stbus.OpKind{stbus.KindLoad}, Sizes: []int{4}, IdlePct: r.idle}
 		units = append(units, p.unit("lat_"+r.bin, hs, p.uniform(tc), p.targets(r.target)))
 	}
 	return units
@@ -496,7 +586,7 @@ func (p *planner) latencyUnits(missing []string) []Unit {
 // heavy union traffic across every stimulus class.
 func (p *planner) fallbackUnit(hs []coverage.Hole) Unit {
 	tc := catg.UnionTraffic(p.cfg)
-	tc.Ops = p.ops
+	tc.Ops = p.opsFor("union")
 	tc.UnmappedPct = 10
 	tc.ChunkPct = 15
 	tc.IdlePct = 20

@@ -206,6 +206,140 @@ func RunTest(cfg nodespec.Config, view View, test Test, seed int64, opt RunOptio
 	return RunTestCtx(context.Background(), cfg, view, test, seed, opt)
 }
 
+// benchInst is one fully wired bench+DUT instance: the per-run state of
+// RunTestCtx, factored out so the lane-parallel runner (lanes.go) can
+// elaborate one instance per lane on a shared simulator.
+type benchInst struct {
+	dut        DUT
+	res        *RunResult
+	bfms       []*catg.InitiatorBFM
+	initMons   []*catg.Monitor
+	tgtMons    []*catg.Monitor
+	checkers   []*catg.Checker
+	sb         *catg.Scoreboard
+	cov        *catg.CoverageModel
+	traceSigs  []*sim.Signal
+	totalCells int
+	buf        bytes.Buffer
+	wr         *vcd.Writer
+	rc         *vcd.Recorder
+	obs        *stba.Observer
+}
+
+// buildBench elaborates the requested view under sm and wires the common
+// environment around it: BFMs, monitors, checkers, scoreboard, coverage, and
+// whichever waveform/alignment taps the options request. cfg must already
+// have its defaults applied.
+func buildBench(sm *sim.Simulator, cfg nodespec.Config, view View, test Test, seed int64, opt RunOptions) (*benchInst, error) {
+	b := &benchInst{res: &RunResult{Test: test.Name, Seed: seed, View: view, DUTIn: cfg}}
+	dut, err := BuildDUT(sim.Root(sm), cfg, view, opt.Bugs)
+	if err != nil {
+		return nil, err
+	}
+	b.dut = dut
+
+	// traceSigs collects the DUT port signals, in port order, for whichever
+	// waveform/alignment taps the options request.
+	tracing := opt.DumpVCD || opt.RecordWave || opt.AlignWith != nil
+	for i, p := range dut.InitPorts() {
+		ops := catg.GenerateOps(cfg, test.trafficFor(cfg, i), i, seed)
+		for _, o := range ops {
+			b.totalCells += len(o.Cells) + o.IdleBefore
+		}
+		b.bfms = append(b.bfms, catg.NewInitiatorBFM(sm, p, ops))
+		mon := catg.NewMonitor(sm, p, i, true, catg.NodeRouter(cfg, i))
+		res := b.res
+		mon.OnComplete(func(tr *stbus.Transaction) {
+			res.Latencies = append(res.Latencies, tr.Latency())
+		})
+		b.initMons = append(b.initMons, mon)
+		b.checkers = append(b.checkers, catg.NewChecker(sm, p, cfg, true, catg.NodeRouter(cfg, i)))
+		if tracing {
+			b.traceSigs = append(b.traceSigs, p.Signals()...)
+		}
+	}
+	for tg, p := range dut.TgtPorts() {
+		catg.NewTargetBFM(sm, p, test.targetFor(cfg, tg), catg.TargetSeed(seed, tg))
+		b.tgtMons = append(b.tgtMons, catg.NewMonitor(sm, p, tg, false, nil))
+		b.checkers = append(b.checkers, catg.NewChecker(sm, p, cfg, false, nil))
+		if tracing {
+			b.traceSigs = append(b.traceSigs, p.Signals()...)
+		}
+	}
+	b.sb = catg.NewScoreboard(cfg, b.initMons, b.tgtMons)
+	b.cov = catg.NewCoverageModel(cfg, test.trafficFor(cfg, 0))
+	b.cov.SubscribeMonitors(sm, b.initMons)
+	if opt.DumpVCD {
+		b.wr = vcd.NewWriter(&b.buf, "tb")
+		for _, s := range b.traceSigs {
+			b.wr.Declare(s)
+		}
+		b.wr.Attach(sm)
+	}
+	if opt.RecordWave {
+		b.rc = vcd.NewRecorder("tb")
+		for _, s := range b.traceSigs {
+			b.rc.Declare(s)
+		}
+		b.rc.Attach(sm)
+	}
+	if opt.AlignWith != nil {
+		b.obs, err = stba.NewObserver(opt.AlignWith, b.traceSigs)
+		if err != nil {
+			return nil, err
+		}
+		b.obs.Attach(sm)
+	}
+	return b, nil
+}
+
+// limit returns the run's cycle bound: the test's own, or one derived from
+// this bench's traffic volume.
+func (b *benchInst) limit(test Test) int {
+	if test.MaxCycles != 0 {
+		return test.MaxCycles
+	}
+	return 2000 + b.totalCells*60
+}
+
+// done reports whether every initiator BFM has drained its program.
+func (b *benchInst) done() bool {
+	for _, bf := range b.bfms {
+		if !bf.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// collect finalises the run report from the bench observers. The caller has
+// already set Drained and Cycles.
+func (b *benchInst) collect() (*RunResult, error) {
+	res := b.res
+	for _, c := range b.checkers {
+		res.Violations = append(res.Violations, c.Violations...)
+	}
+	res.ScoreErrors = b.sb.Check()
+	res.Coverage = b.cov.Group
+	res.CodeCov = b.dut.CodeCoverage()
+	for _, m := range b.initMons {
+		res.Transactions += len(m.CompletedTxs())
+	}
+	if b.wr != nil {
+		if err := b.wr.Flush(); err != nil {
+			return nil, err
+		}
+		res.VCD = b.buf.Bytes()
+	}
+	if b.rc != nil {
+		res.Wave = b.rc.Recording()
+	}
+	if b.obs != nil {
+		res.Alignment = b.obs.Report()
+	}
+	return res, nil
+}
+
 // RunTestCtx is RunTest under a cancellation context: the run loop polls ctx
 // every few cycles and aborts with ctx's error, so a served job can be
 // cancelled mid-simulation, not just between units. A context without a
@@ -215,85 +349,12 @@ func RunTestCtx(ctx context.Context, cfg nodespec.Config, view View, test Test, 
 	sm := sim.New()
 	sm.Kernel = opt.Kernel
 	sm.Timing = opt.KernelStats
-	dut, err := BuildDUT(sim.Root(sm), cfg, view, opt.Bugs)
+	b, err := buildBench(sm, cfg, view, test, seed, opt)
 	if err != nil {
 		return nil, err
 	}
-	res := &RunResult{Test: test.Name, Seed: seed, View: view, DUTIn: cfg}
-
-	// traceSigs collects the DUT port signals, in port order, for whichever
-	// waveform/alignment taps the options request.
-	tracing := opt.DumpVCD || opt.RecordWave || opt.AlignWith != nil
-	var traceSigs []*sim.Signal
-	var bfms []*catg.InitiatorBFM
-	var initMons, tgtMons []*catg.Monitor
-	var checkers []*catg.Checker
-	totalCells := 0
-	for i, p := range dut.InitPorts() {
-		ops := catg.GenerateOps(cfg, test.trafficFor(cfg, i), i, seed)
-		for _, o := range ops {
-			totalCells += len(o.Cells) + o.IdleBefore
-		}
-		bfms = append(bfms, catg.NewInitiatorBFM(sm, p, ops))
-		mon := catg.NewMonitor(sm, p, i, true, catg.NodeRouter(cfg, i))
-		mon.OnComplete(func(tr *stbus.Transaction) {
-			res.Latencies = append(res.Latencies, tr.Latency())
-		})
-		initMons = append(initMons, mon)
-		checkers = append(checkers, catg.NewChecker(sm, p, cfg, true, catg.NodeRouter(cfg, i)))
-		if tracing {
-			traceSigs = append(traceSigs, p.Signals()...)
-		}
-	}
-	for tg, p := range dut.TgtPorts() {
-		catg.NewTargetBFM(sm, p, test.targetFor(cfg, tg), catg.TargetSeed(seed, tg))
-		tgtMons = append(tgtMons, catg.NewMonitor(sm, p, tg, false, nil))
-		checkers = append(checkers, catg.NewChecker(sm, p, cfg, false, nil))
-		if tracing {
-			traceSigs = append(traceSigs, p.Signals()...)
-		}
-	}
-	sb := catg.NewScoreboard(cfg, initMons, tgtMons)
-	cov := catg.NewCoverageModel(cfg, test.trafficFor(cfg, 0))
-	cov.SubscribeMonitors(sm, initMons)
-	var buf bytes.Buffer
-	var wr *vcd.Writer
-	if opt.DumpVCD {
-		wr = vcd.NewWriter(&buf, "tb")
-		for _, s := range traceSigs {
-			wr.Declare(s)
-		}
-		wr.Attach(sm)
-	}
-	var rc *vcd.Recorder
-	if opt.RecordWave {
-		rc = vcd.NewRecorder("tb")
-		for _, s := range traceSigs {
-			rc.Declare(s)
-		}
-		rc.Attach(sm)
-	}
-	var obs *stba.Observer
-	if opt.AlignWith != nil {
-		obs, err = stba.NewObserver(opt.AlignWith, traceSigs)
-		if err != nil {
-			return nil, err
-		}
-		obs.Attach(sm)
-	}
-
-	limit := test.MaxCycles
-	if limit == 0 {
-		limit = 2000 + totalCells*60
-	}
-	done := func() bool {
-		for _, b := range bfms {
-			if !b.Done() {
-				return false
-			}
-		}
-		return true
-	}
+	limit := b.limit(test)
+	done := b.done
 	cancelled := false
 	if ctx.Done() != nil {
 		inner := done
@@ -310,34 +371,17 @@ func RunTestCtx(ctx context.Context, cfg nodespec.Config, view View, test Test, 
 	if cancelled {
 		return nil, fmt.Errorf("core: %s %s seed %d: %w", view, test.Name, seed, ctx.Err())
 	}
-	res.Drained = err == nil
+	b.res.Drained = err == nil
 	if err == nil {
 		// A short tail so registered responses and monitors settle.
 		if err := sm.Run(5); err != nil {
 			return nil, err
 		}
 	}
-	res.Cycles = sm.Cycle()
-	for _, c := range checkers {
-		res.Violations = append(res.Violations, c.Violations...)
-	}
-	res.ScoreErrors = sb.Check()
-	res.Coverage = cov.Group
-	res.CodeCov = dut.CodeCoverage()
-	for _, m := range initMons {
-		res.Transactions += len(m.CompletedTxs())
-	}
-	if wr != nil {
-		if err := wr.Flush(); err != nil {
-			return nil, err
-		}
-		res.VCD = buf.Bytes()
-	}
-	if rc != nil {
-		res.Wave = rc.Recording()
-	}
-	if obs != nil {
-		res.Alignment = obs.Report()
+	b.res.Cycles = sm.Cycle()
+	res, err := b.collect()
+	if err != nil {
+		return nil, err
 	}
 	if opt.KernelStats {
 		res.Kernel = sm.Stats()

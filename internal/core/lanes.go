@@ -1,0 +1,204 @@
+// Lane-parallel test execution: one simulator runs the same (config, view,
+// test) for up to 64 seeds at once, one seed per bit-sliced lane (see
+// internal/sim/lane.go). The DUT's IR-declared processes evaluate all seeds
+// per bytecode pass; the testbench closures — BFMs, monitors, checkers — run
+// per lane under the lane dispatch, so every seed observes exactly what its
+// scalar run would and the per-seed RunResults demultiplex byte-identical.
+//
+// Each lane lives its own scalar lifecycle on the shared clock: it drains
+// (all its BFMs done) or times out at its own traffic-derived cycle limit,
+// runs the same five-cycle settle tail, then retires via SetLaneActive so its
+// closures stop while surviving lanes keep stepping.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"crve/internal/nodespec"
+	"crve/internal/sim"
+	"crve/internal/vcd"
+)
+
+// MaxLanes is the lane capacity of one simulator: one seed per bit of the
+// plane words.
+const MaxLanes = 64
+
+// RunTestLanes runs one (config, view, test) across up to MaxLanes seeds in
+// a single lane-parallel simulator and returns one RunResult per seed, index-
+// matched to seeds. A single seed falls back to the scalar runner; an empty
+// seed list returns nil. opt.AlignWith, when set, applies to every lane —
+// per-seed alignment references come from RunPairLanes. The kernel profile
+// (opt.KernelStats) describes the shared simulator and rides on the first
+// seed's report only.
+func RunTestLanes(ctx context.Context, cfg nodespec.Config, view View, test Test, seeds []int64, opt RunOptions) ([]*RunResult, error) {
+	return runTestLanes(ctx, cfg, view, test, seeds, opt, nil)
+}
+
+// runTestLanes is the lane runner proper. align, when non-nil, carries one
+// alignment reference per seed (nil entries allowed).
+func runTestLanes(ctx context.Context, cfg nodespec.Config, view View, test Test, seeds []int64, opt RunOptions, align []*vcd.Recording) ([]*RunResult, error) {
+	if len(seeds) > MaxLanes {
+		return nil, fmt.Errorf("core: %d seeds exceed the %d-lane capacity", len(seeds), MaxLanes)
+	}
+	if align != nil && len(align) != len(seeds) {
+		return nil, fmt.Errorf("core: %d alignment references for %d seeds", len(align), len(seeds))
+	}
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+	if len(seeds) == 1 {
+		// One seed gains nothing from lane mode: run it scalar.
+		o := opt
+		if align != nil {
+			o.AlignWith = align[0]
+		}
+		res, err := RunTestCtx(ctx, cfg, view, test, seeds[0], o)
+		if err != nil {
+			return nil, err
+		}
+		return []*RunResult{res}, nil
+	}
+
+	cfg = cfg.WithDefaults()
+	sm := sim.New()
+	sm.Kernel = opt.Kernel
+	sm.Timing = opt.KernelStats
+	sm.SetLanes(len(seeds))
+	benches := make([]*benchInst, len(seeds))
+	for l, seed := range seeds {
+		sm.BeginLane(l)
+		o := opt
+		if align != nil {
+			o.AlignWith = align[l]
+		}
+		b, err := buildBench(sm, cfg, view, test, seed, o)
+		if err != nil {
+			sm.EndBuild()
+			return nil, err
+		}
+		benches[l] = b
+	}
+	sm.EndBuild()
+
+	// Per-lane lifecycle, reproducing the scalar runner cycle-exactly: the
+	// drain condition is checked before the limit (a run draining exactly at
+	// its limit counts as drained, like RunUntil's final done() probe), a
+	// drained lane runs a tailLen-cycle settle tail, and a finished lane
+	// retires from the shared clock.
+	const tailLen = 5
+	type laneState struct {
+		limit    int
+		tail     bool
+		tailLeft int
+		finished bool
+	}
+	st := make([]laneState, len(benches))
+	for l, b := range benches {
+		st[l].limit = b.limit(test)
+	}
+	finish := func(l int, drained bool) {
+		st[l].finished = true
+		benches[l].res.Drained = drained
+		benches[l].res.Cycles = sm.Cycle()
+		sm.SetLaneActive(l, false)
+	}
+	live := len(benches)
+	poll := ctx.Done() != nil
+	for live > 0 {
+		for l := range st {
+			s := &st[l]
+			if s.finished {
+				continue
+			}
+			if !s.tail {
+				if benches[l].done() {
+					s.tail = true
+					s.tailLeft = tailLen
+				} else if sm.Cycle() >= uint64(s.limit) {
+					finish(l, false)
+					live--
+					continue
+				}
+			}
+			if s.tail && s.tailLeft == 0 {
+				finish(l, true)
+				live--
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if poll && sm.Cycle()&63 == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("core: %s %s lanes: %w", view, test.Name, ctx.Err())
+		}
+		if err := sm.Step(); err != nil {
+			// A kernel error is global: every unfinished lane reports
+			// undrained at the failing cycle, mirroring the scalar runner's
+			// collect-on-error shape.
+			for l := range st {
+				if !st[l].finished {
+					finish(l, false)
+					live--
+				}
+			}
+			break
+		}
+		for l := range st {
+			if st[l].tail && !st[l].finished {
+				st[l].tailLeft--
+			}
+		}
+	}
+
+	results := make([]*RunResult, len(benches))
+	for l, b := range benches {
+		res, err := b.collect()
+		if err != nil {
+			return nil, err
+		}
+		results[l] = res
+	}
+	if opt.KernelStats {
+		results[0].Kernel = sm.Stats()
+	}
+	return results, nil
+}
+
+// RunPairLanes is the lane-parallel RunPairCtx: the RTL view runs all seeds
+// as lanes with per-lane waveform recordings, then the BCA view runs all
+// seeds as lanes with each lane's streaming alignment observer replaying its
+// own seed's recording. Returns one PairResult per seed, index-matched.
+func RunPairLanes(ctx context.Context, cfg nodespec.Config, test Test, seeds []int64, opt RunOptions) ([]*PairResult, error) {
+	rtlOpt := RunOptions{DumpVCD: opt.DumpVCD, RecordWave: true, KernelStats: opt.KernelStats, Kernel: opt.Kernel}
+	rress, err := runTestLanes(ctx, cfg, RTLView, test, seeds, rtlOpt, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: RTL lanes: %w", err)
+	}
+	waves := make([]*vcd.Recording, len(rress))
+	for i, r := range rress {
+		waves[i] = r.Wave
+	}
+	bcaOpt := RunOptions{
+		DumpVCD: opt.DumpVCD, RecordWave: opt.RecordWave,
+		KernelStats: opt.KernelStats, Kernel: opt.Kernel, Bugs: opt.Bugs,
+	}
+	bress, err := runTestLanes(ctx, cfg, BCAView, test, seeds, bcaOpt, waves)
+	if err != nil {
+		return nil, fmt.Errorf("core: BCA lanes: %w", err)
+	}
+	prs := make([]*PairResult, len(seeds))
+	for i := range prs {
+		rres, bres := rress[i], bress[i]
+		pr := &PairResult{RTL: rres, BCA: bres, Alignment: bres.Alignment}
+		bres.Alignment = nil
+		if !opt.RecordWave {
+			// The RTL recording was only the alignment reference; drop it
+			// unless the caller asked for the artifact.
+			rres.Wave = nil
+		}
+		pr.CoverageEqual, pr.CoverageDiff = rres.Coverage.EqualHits(bres.Coverage)
+		prs[i] = pr
+	}
+	return prs, nil
+}

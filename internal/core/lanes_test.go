@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"crve/internal/bca"
+	"crve/internal/sim"
+)
+
+// compareRun asserts a lane-demultiplexed report is byte-identical to the
+// scalar reference, field by field so a mismatch names what diverged. The
+// kernel profile is excluded: it describes the whole shared simulator.
+func compareRun(t *testing.T, tag string, got, want *RunResult) {
+	t.Helper()
+	got = &(*got)
+	want = &(*want)
+	gk, wk := *got, *want
+	gk.Kernel, wk.Kernel = nil, nil
+	if reflect.DeepEqual(&gk, &wk) {
+		return
+	}
+	checks := []struct {
+		name string
+		g, w interface{}
+	}{
+		{"Cycles", gk.Cycles, wk.Cycles},
+		{"Drained", gk.Drained, wk.Drained},
+		{"Transactions", gk.Transactions, wk.Transactions},
+		{"Latencies", gk.Latencies, wk.Latencies},
+		{"Violations", gk.Violations, wk.Violations},
+		{"ScoreErrors", gk.ScoreErrors, wk.ScoreErrors},
+		{"CodeCov", gk.CodeCov, wk.CodeCov},
+		{"VCD", gk.VCD, wk.VCD},
+		{"Wave", gk.Wave, wk.Wave},
+		{"Alignment", gk.Alignment, wk.Alignment},
+	}
+	for _, c := range checks {
+		if !reflect.DeepEqual(c.g, c.w) {
+			t.Errorf("%s: %s diverges from the scalar run\nlane:   %+v\nscalar: %+v", tag, c.name, c.g, c.w)
+		}
+	}
+	if gd, wd := gk.Coverage.SortedBinDump(), wk.Coverage.SortedBinDump(); gd != wd {
+		t.Errorf("%s: coverage bins diverge from the scalar run\nlane:\n%s\nscalar:\n%s", tag, gd, wd)
+	}
+	// Anything not covered by the named checks (future fields) still fails.
+	t.Errorf("%s: lane report != scalar report\nlane:   %s\nscalar: %s", tag, gk.Summary(), wk.Summary())
+}
+
+// TestLaneScalarEquivalence is the headline property of lane-parallel
+// execution: every per-seed report demultiplexed from a lane run — counts,
+// latencies, violations, coverage bins, even the text VCD — is byte-identical
+// to the scalar run of that seed, across views, kernels, and a bugged model.
+func TestLaneScalarEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7}
+	cases := []struct {
+		name   string
+		nInit  int
+		nTgt   int
+		view   View
+		kernel sim.Kernel
+		bugs   bca.Bugs
+	}{
+		{"rtl-compiled", 2, 2, RTLView, sim.KernelCompiled, bca.Bugs{}},
+		{"rtl-levelized", 2, 2, RTLView, sim.KernelLevelized, bca.Bugs{}},
+		{"bca-compiled", 2, 2, BCAView, sim.KernelCompiled, bca.Bugs{}},
+		{"bca-bugged", 3, 1, BCAView, sim.KernelCompiled, bca.Bugs{LRUInit: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := RunOptions{DumpVCD: true, RecordWave: true, KernelStats: true, Kernel: tc.kernel, Bugs: tc.bugs}
+			lres, err := RunTestLanes(context.Background(), cfg(tc.nInit, tc.nTgt), tc.view, smokeTest(), seeds, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lres) != len(seeds) {
+				t.Fatalf("lane run returned %d results for %d seeds", len(lres), len(seeds))
+			}
+			if lres[0].Kernel == nil || lres[0].Kernel.Lanes != len(seeds) {
+				t.Errorf("lane kernel profile missing or unlabelled: %+v", lres[0].Kernel)
+			}
+			// Only the RTL view carries IR-declared processes; the BCA model
+			// is pure closures, so its lane runs legitimately fuse nothing.
+			if tc.kernel == sim.KernelCompiled && tc.view == RTLView && lres[0].Kernel.FusedLaneEvals == 0 {
+				t.Errorf("compiled lane run fused no lane evals")
+			}
+			for i, seed := range seeds {
+				sres, err := RunTest(cfg(tc.nInit, tc.nTgt), tc.view, smokeTest(), seed, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lres[i].Seed != seed {
+					t.Fatalf("result %d carries seed %d, want %d", i, lres[i].Seed, seed)
+				}
+				compareRun(t, tc.name, lres[i], sres)
+			}
+		})
+	}
+}
+
+// TestLanePairEquivalence extends the property to the paired flow: per-seed
+// PairResults from RunPairLanes — alignment reports, coverage equality, the
+// sign-off verdict — match RunPairCtx seed for seed, clean and bugged.
+func TestLanePairEquivalence(t *testing.T) {
+	seeds := []int64{11, 12, 13}
+	for _, tc := range []struct {
+		name string
+		bugs bca.Bugs
+	}{
+		{"clean", bca.Bugs{}},
+		{"bugged", bca.Bugs{LRUInit: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cfg(3, 1)
+			opt := RunOptions{Kernel: sim.KernelCompiled, Bugs: tc.bugs}
+			prs, err := RunPairLanes(context.Background(), c, smokeTest(), seeds, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, seed := range seeds {
+				ref, err := RunPairCtx(context.Background(), c, smokeTest(), seed, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pr := prs[i]
+				if !reflect.DeepEqual(pr.Alignment, ref.Alignment) {
+					t.Errorf("seed %d: alignment diverges\nlane:   %+v\nscalar: %+v", seed, pr.Alignment, ref.Alignment)
+				}
+				if pr.CoverageEqual != ref.CoverageEqual || pr.CoverageDiff != ref.CoverageDiff {
+					t.Errorf("seed %d: coverage verdict (%v, %q) vs scalar (%v, %q)",
+						seed, pr.CoverageEqual, pr.CoverageDiff, ref.CoverageEqual, ref.CoverageDiff)
+				}
+				if pr.SignedOff() != ref.SignedOff() {
+					t.Errorf("seed %d: sign-off %v vs scalar %v", seed, pr.SignedOff(), ref.SignedOff())
+				}
+				compareRun(t, "rtl", pr.RTL, ref.RTL)
+				compareRun(t, "bca", pr.BCA, ref.BCA)
+			}
+		})
+	}
+}
+
+// TestLaneStallMatchesScalar pins the per-lane timeout path: an impossible
+// cycle budget reports not-drained at the same cycle count as a scalar run.
+func TestLaneStallMatchesScalar(t *testing.T) {
+	tst := smokeTest()
+	tst.MaxCycles = 3
+	seeds := []int64{1, 2}
+	lres, err := RunTestLanes(context.Background(), cfg(1, 1), RTLView, tst, seeds, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		sres, err := RunTest(cfg(1, 1), RTLView, tst, seed, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lres[i].Drained || lres[i].Cycles != sres.Cycles {
+			t.Errorf("seed %d: lane stall (drained=%v cycles=%d) vs scalar (drained=%v cycles=%d)",
+				seed, lres[i].Drained, lres[i].Cycles, sres.Drained, sres.Cycles)
+		}
+	}
+}
+
+// TestLaneSeedCapacity pins the API edges: empty seed list, single-seed
+// scalar fallback, and the 64-seed capacity error.
+func TestLaneSeedCapacity(t *testing.T) {
+	if res, err := RunTestLanes(context.Background(), cfg(1, 1), RTLView, smokeTest(), nil, RunOptions{}); err != nil || res != nil {
+		t.Errorf("empty seeds: res=%v err=%v", res, err)
+	}
+	res, err := RunTestLanes(context.Background(), cfg(1, 1), RTLView, smokeTest(), []int64{5}, RunOptions{})
+	if err != nil || len(res) != 1 || res[0].Seed != 5 {
+		t.Errorf("single seed fallback: res=%v err=%v", res, err)
+	}
+	big := make([]int64, MaxLanes+1)
+	if _, err := RunTestLanes(context.Background(), cfg(1, 1), RTLView, smokeTest(), big, RunOptions{}); err == nil {
+		t.Error("65 seeds must exceed lane capacity")
+	}
+}

@@ -1,0 +1,78 @@
+package regress
+
+import (
+	"bytes"
+	"testing"
+
+	"crve/internal/nodespec"
+)
+
+// TestLaneRunByteIdentical extends the engine's determinism contract to lane
+// mode: batching seeds into lane-parallel simulators must leave the verbose
+// log and the MatrixReport byte-identical to a scalar run — lane width is a
+// performance knob, never a semantic one.
+func TestLaneRunByteIdentical(t *testing.T) {
+	cfgs := []nodespec.Config{
+		engineCfg(t, "ln0", 4),
+		engineCfg(t, "ln1", 2),
+	}
+	suite := engineSuite(t, "basic_write_read", "error_paths")
+	runWith := func(lanes int) (string, string) {
+		var log bytes.Buffer
+		results, stats, err := Run(cfgs, Options{
+			Tests: suite, Seeds: []int64{1, 2, 3, 4, 5},
+			Workers: 4, Lanes: lanes, Kernel: "compiled", Log: &log,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := len(cfgs) * len(suite) * 5; stats.Ran != want {
+			t.Errorf("lanes=%d: ran %d units, want %d", lanes, stats.Ran, want)
+		}
+		return MatrixReport(results), log.String()
+	}
+	scalarRep, scalarLog := runWith(0)
+	for _, lanes := range []int{2, 64} {
+		rep, log := runWith(lanes)
+		if rep != scalarRep {
+			t.Errorf("lanes=%d: MatrixReport differs from scalar:\n%s\nvs\n%s", lanes, scalarRep, rep)
+		}
+		if log != scalarLog {
+			t.Errorf("lanes=%d: progress log differs from scalar:\n%s\nvs\n%s", lanes, scalarLog, log)
+		}
+	}
+}
+
+// TestLaneCacheInterop pins that lane batches keep the per-seed cache keys:
+// entries stored by a scalar run serve a lane run (a partial batch simulates
+// only the missing seeds) and entries stored by a lane run serve a scalar
+// run.
+func TestLaneCacheInterop(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engineCfg(t, "lc", 4)
+	suite := engineSuite(t, "basic_write_read")
+	run := func(seeds []int64, lanes int) Stats {
+		_, stats, err := Run([]nodespec.Config{cfg}, Options{
+			Tests: suite, Seeds: seeds, Lanes: lanes, Cache: cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	if s := run([]int64{1, 2}, 0); s.Ran != 2 || s.Cached != 0 {
+		t.Fatalf("cold scalar run: %v, want 2 ran", s)
+	}
+	// Lane run over a superset: the scalar-stored seeds serve from cache and
+	// only the two missing seeds enter the lane simulator.
+	if s := run([]int64{1, 2, 3, 4}, 64); s.Ran != 2 || s.Cached != 2 {
+		t.Fatalf("partial lane batch: %v, want 2 ran + 2 cached", s)
+	}
+	// Scalar rerun of everything: the lane-stored entries serve too.
+	if s := run([]int64{1, 2, 3, 4}, 0); s.Ran != 0 || s.Cached != 4 {
+		t.Fatalf("warm scalar run: %v, want 4 cached", s)
+	}
+}

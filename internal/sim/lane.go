@@ -1,0 +1,902 @@
+// Lane-parallel execution: up to 64 independent simulations — "lanes",
+// typically the seed axis of a regression — share one Simulator and one
+// elaborated signal graph. Signal storage widens to one uint64 plane word per
+// bit position, bit l of plane b holding lane l's value of bit b, so a single
+// word-wise operation evaluates a gate for every lane at once (classic
+// bit-sliced event simulation). The compiled backend fuses the per-lane
+// copies of each IR-declared process into one transposed bytecode program;
+// everything with divergent control flow — BFMs, monitors, checkers, the BCA
+// queues — stays a per-lane closure, dispatched through the lane context so
+// unmodified testbench code reads and writes its own lane.
+//
+// Construction protocol: SetLanes(n) on a fresh simulator, then build the
+// identical bench+DUT once per lane under BeginLane(l)/EndBuild. Lane 0's
+// build creates the signals; every later lane's Signal calls alias the
+// ordinal-matched lane-0 signal (name and width asserted), so the lanes share
+// one graph while each keeps its own process closures and cycle-end hooks.
+// Per-lane liveness is governed by SetLaneActive: a retired lane's closures
+// and hooks stop running and changes confined to it wake nobody, while the
+// transposed segments keep computing its (unobserved) planes.
+//
+// Equivalence argument: per-lane wake criteria are exactly the scalar ones —
+// a process is woken iff a signal it is sensitive to changed in its lane — so
+// every closure runs in the same cycles with the same visible values as in a
+// scalar run of that seed, and fused processes are pure functions whose early
+// or extra evaluation is unobservable. Reports therefore demultiplex
+// byte-identical to scalar runs, the property TestLaneScalarEquivalence
+// asserts across the standard matrix.
+
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// transpose64 transposes a 64×64 bit matrix in place: bit j of word i moves
+// to bit i of word j (LSB-first in both dimensions). It is an involution; the
+// same routine converts lane values to bit planes and back.
+func transpose64(a *[64]uint64) {
+	for j, m := 32, uint64(0x00000000FFFFFFFF); j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>uint(j) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+	}
+}
+
+// PackLanes transposes per-lane values into bit planes: plane b (for b below
+// width) has bit l set iff vals[l] has bit b set. Lanes beyond len(vals) read
+// zero. It is the storage transform of lane-parallel execution, exported for
+// the word-boundary tests.
+func PackLanes(vals []Bits, width int) []uint64 {
+	if len(vals) > 64 {
+		panic("sim: PackLanes: more than 64 lanes")
+	}
+	planes := make([]uint64, width)
+	var a [64]uint64
+	for g := 0; g*64 < width; g++ {
+		for l := range a {
+			a[l] = 0
+		}
+		for l, v := range vals {
+			a[l] = v.v[g]
+		}
+		transpose64(&a)
+		n := width - g*64
+		if n > 64 {
+			n = 64
+		}
+		copy(planes[g*64:g*64+n], a[:n])
+	}
+	return planes
+}
+
+// UnpackLanes is the inverse of PackLanes: it gathers lane l's value from bit
+// l of every plane, for lanes lanes.
+func UnpackLanes(planes []uint64, width, lanes int) []Bits {
+	if lanes > 64 {
+		panic("sim: UnpackLanes: more than 64 lanes")
+	}
+	vals := make([]Bits, lanes)
+	var a [64]uint64
+	for g := 0; g*64 < width; g++ {
+		for b := range a {
+			a[b] = 0
+		}
+		n := width - g*64
+		if n > 64 {
+			n = 64
+		}
+		copy(a[:n], planes[g*64:g*64+n])
+		transpose64(&a)
+		for l := 0; l < lanes; l++ {
+			vals[l].v[g] = a[l]
+		}
+	}
+	return vals
+}
+
+// laneSig is the widened storage of one signal under lane mode. The
+// committed state lives in two interchangeable representations — per-lane
+// values (lv) for the closure path and bit planes for the transposed bytecode
+// — each lazily rebuilt from the other via the 64×64 transpose when its
+// validity flag is down. Pending writes are likewise split: per-lane values
+// scheduled by closures (next/pend) and whole planes scheduled by transposed
+// sequential code (nextPlanes/planePend).
+type laneSig struct {
+	lanes int
+
+	lv   []Bits // per-lane committed values, valid iff lvOK
+	lvOK bool
+
+	planes []uint64 // one word per bit position, valid iff plOK
+	plOK   bool
+
+	next []Bits // per-lane pending values (closure writes)
+	pend uint64 // lanes with a pending closure write
+
+	nextPlanes []uint64 // pending planes (transposed seq stores)
+	planePend  bool
+}
+
+func newLaneSig(lanes, width int) *laneSig {
+	return &laneSig{
+		lanes:  lanes,
+		lv:     make([]Bits, lanes),
+		lvOK:   true,
+		planes: make([]uint64, width),
+		plOK:   true,
+		next:   make([]Bits, lanes),
+	}
+}
+
+// gather rebuilds the per-lane values from the planes.
+func (ls *laneSig) gather(width int) {
+	var a [64]uint64
+	for g := 0; g*64 < width; g++ {
+		for b := range a {
+			a[b] = 0
+		}
+		n := width - g*64
+		if n > 64 {
+			n = 64
+		}
+		copy(a[:n], ls.planes[g*64:g*64+n])
+		transpose64(&a)
+		for l := 0; l < ls.lanes; l++ {
+			ls.lv[l].v[g] = a[l]
+		}
+	}
+	lv := ls.lv
+	for l := range lv {
+		for g := (width + 63) / 64; g < BitsWords; g++ {
+			lv[l].v[g] = 0
+		}
+	}
+	ls.lvOK = true
+}
+
+// scatter rebuilds the planes from the per-lane values. Plane bits at or
+// above the lane count are zeroed; they are unspecified everywhere else and
+// every reader masks them off.
+func (ls *laneSig) scatter(width int) {
+	var a [64]uint64
+	for g := 0; g*64 < width; g++ {
+		for l := range a {
+			a[l] = 0
+		}
+		for l := 0; l < ls.lanes; l++ {
+			a[l] = ls.lv[l].v[g]
+		}
+		transpose64(&a)
+		n := width - g*64
+		if n > 64 {
+			n = 64
+		}
+		copy(ls.planes[g*64:g*64+n], a[:n])
+	}
+	ls.plOK = true
+}
+
+// SetLanes switches a fresh simulator into lane-parallel mode with n
+// independent lanes. It must be called before any signal or process is
+// created.
+func (sm *Simulator) SetLanes(n int) {
+	if n < 2 || n > 64 {
+		panic(fmt.Sprintf("sim: SetLanes(%d) out of range 2..64", n))
+	}
+	if len(sm.signals) > 0 || len(sm.seqs) > 0 || len(sm.combs) > 0 || sm.frozen {
+		panic("sim: SetLanes after construction began")
+	}
+	sm.lanes = n
+	if n == 64 {
+		sm.laneAll = ^uint64(0)
+	} else {
+		sm.laneAll = 1<<uint(n) - 1
+	}
+	sm.activeMask = sm.laneAll
+}
+
+// Lanes returns the lane count (0 when the simulator is scalar).
+func (sm *Simulator) Lanes() int { return sm.lanes }
+
+// BeginLane enters lane l's construction context: processes and hooks
+// registered until the next BeginLane/EndBuild belong to lane l, and Signal
+// calls create (lane 0) or alias (later lanes) the shared signal graph.
+func (sm *Simulator) BeginLane(l int) {
+	if sm.lanes == 0 {
+		panic("sim: BeginLane without SetLanes")
+	}
+	if l < 0 || l >= sm.lanes {
+		panic(fmt.Sprintf("sim: BeginLane(%d) out of range 0..%d", l, sm.lanes-1))
+	}
+	sm.buildLane = l
+	sm.curLane = l
+	sm.laneSigOrd = 0
+	sm.laneProcOrd = 0
+}
+
+// EndBuild leaves lane construction context.
+func (sm *Simulator) EndBuild() {
+	sm.buildLane = -1
+	sm.curLane = -1
+}
+
+// SetLaneActive retires (or revives) lane l. An inactive lane's sequential
+// closures and cycle-end hooks stop running, and signal changes confined to
+// it wake no processes; the transposed segments keep computing its planes,
+// which nothing observes.
+func (sm *Simulator) SetLaneActive(l int, active bool) {
+	if l < 0 || l >= sm.lanes {
+		panic(fmt.Sprintf("sim: SetLaneActive(%d) out of range", l))
+	}
+	if active {
+		sm.activeMask |= 1 << uint(l)
+	} else {
+		sm.activeMask &^= 1 << uint(l)
+	}
+}
+
+// LaneActive reports whether lane l is active.
+func (sm *Simulator) LaneActive(l int) bool { return sm.activeMask>>uint(l)&1 != 0 }
+
+// ActiveMask returns the bitmask of active lanes.
+func (sm *Simulator) ActiveMask() uint64 { return sm.activeMask }
+
+// laneAlias resolves a Signal call under lane construction: lane 0 creates,
+// later lanes alias by creation ordinal so all lanes share one graph.
+func (sm *Simulator) laneAlias(name string, width int) *Signal {
+	if sm.buildLane > 0 {
+		if sm.laneSigOrd >= len(sm.laneSigs) {
+			panic(fmt.Sprintf("sim: lane %d created extra signal %q; lanes must construct identically", sm.buildLane, name))
+		}
+		s := sm.laneSigs[sm.laneSigOrd]
+		sm.laneSigOrd++
+		if s.name != name || s.width != width {
+			panic(fmt.Sprintf("sim: lane %d signal %q[%d] diverges from lane 0's %q[%d]; lanes must construct identically",
+				sm.buildLane, name, width, s.name, s.width))
+		}
+		return s
+	}
+	s := &Signal{sim: sm, id: len(sm.signals), name: name, width: width, mask: &maskTab[width]}
+	s.ls = newLaneSig(sm.lanes, width)
+	sm.signals = append(sm.signals, s)
+	if sm.buildLane == 0 {
+		sm.laneSigs = append(sm.laneSigs, s)
+	}
+	return s
+}
+
+// laneGet returns lane l's committed value.
+func (s *Signal) laneGet(l int) Bits {
+	return *s.lanePeek(l)
+}
+
+// lanePeek is the copy-free read behind the hot scalar accessors (Bool, U64):
+// it returns a pointer into the lane-value store, valid until the next
+// commit. Callers must not retain or mutate it.
+func (s *Signal) lanePeek(l int) *Bits {
+	if l < 0 {
+		panic(fmt.Sprintf("sim: lane-mode read of %q outside lane context", s.name))
+	}
+	ls := s.ls
+	if !ls.lvOK {
+		ls.gather(s.width)
+	}
+	return &ls.lv[l]
+}
+
+// laneSet schedules v (already width-masked) for lane l with the scalar Set
+// semantics: a first write equal to the committed value is a no-op, later
+// writes in the same delta overwrite the scheduled value.
+func (s *Signal) laneSet(l int, v Bits) {
+	if l < 0 {
+		panic(fmt.Sprintf("sim: lane-mode write of %q outside lane context", s.name))
+	}
+	sm := s.sim
+	ls := s.ls
+	if ls.pend>>uint(l)&1 == 0 {
+		if !ls.lvOK {
+			ls.gather(s.width)
+		}
+		if v.Equal(ls.lv[l]) {
+			return
+		}
+		ls.pend |= 1 << uint(l)
+		if !s.pending {
+			s.pending = true
+			sm.pending = append(sm.pending, s)
+		}
+	}
+	ls.next[l] = v
+}
+
+// GetLane returns lane l's committed value regardless of the current lane
+// context (tests and demultiplexers).
+func (s *Signal) GetLane(l int) Bits { return s.laneGet(l) }
+
+// SetLane schedules a value for lane l regardless of the current lane
+// context.
+func (s *Signal) SetLane(l int, v Bits) {
+	m := s.mask
+	v.v[0] &= m.v[0]
+	v.v[1] &= m.v[1]
+	v.v[2] &= m.v[2]
+	v.v[3] &= m.v[3]
+	s.laneSet(l, v)
+}
+
+// commitLane applies a lane signal's pending writes — transposed plane
+// stores first, then per-lane closure writes — and wakes sensitive processes
+// of the lanes that changed. Fused processes and lane-less (global) processes
+// wake on any active-lane change; a lane-tagged closure wakes only when its
+// own lane changed, preserving the scalar wake criteria per lane. Returns
+// whether any active lane changed.
+func (sm *Simulator) commitLane(s *Signal) bool {
+	ls := s.ls
+	var diff uint64
+	if ls.planePend {
+		ls.planePend = false
+		if !ls.plOK {
+			ls.scatter(s.width)
+		}
+		planes, next := ls.planes, ls.nextPlanes
+		for b := 0; b < s.width; b++ {
+			if d := planes[b] ^ next[b]; d != 0 {
+				planes[b] = next[b]
+				diff |= d
+			}
+		}
+		diff &= sm.laneAll
+		if diff != 0 {
+			ls.lvOK = false
+		}
+	}
+	if ls.pend != 0 {
+		if !ls.lvOK {
+			ls.gather(s.width)
+		}
+		for m := ls.pend; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			if !ls.next[l].Equal(ls.lv[l]) {
+				ls.lv[l] = ls.next[l]
+				ls.plOK = false
+				diff |= 1 << uint(l)
+			}
+		}
+		ls.pend = 0
+	}
+	diff &= sm.activeMask
+	if diff == 0 {
+		return false
+	}
+	for _, p := range s.sensitive {
+		if p.fused || p.lane < 0 || diff>>uint(p.lane)&1 != 0 {
+			sm.wake(p)
+		}
+	}
+	return true
+}
+
+// linstr is one transposed bytecode instruction. Operand offsets index the
+// plane arena; negative offsets (-1-i) index the constant-plane pool. Each
+// operand carries its width: a plane read at or above it yields zero, the
+// transposed form of zero-extension.
+type linstr struct {
+	op         kop
+	sig, sig2  int32 // signal table indices (load/store/copy)
+	dst        int32 // arena offset of the result planes
+	a, b, c    int32 // operand offsets (negative: constant pool)
+	lo         uint16
+	w          uint16 // result width in planes
+	wa, wb, wc uint16 // operand widths
+}
+
+// lw reads plane b of an operand: zero beyond the operand width, arena for
+// non-negative offsets, the constant pool otherwise.
+func lw(arena, consts []uint64, off int32, b int, w uint16) uint64 {
+	if uint(b) >= uint(w) {
+		return 0
+	}
+	if off >= 0 {
+		return arena[int(off)+b]
+	}
+	return consts[int(-1-off)+b]
+}
+
+// lconstKey interns constant planes by value and width.
+type lconstKey struct {
+	v Bits
+	w int
+}
+
+// laneCompiler translates Expr trees into transposed bytecode, one process
+// at a time, sharing the signal table and constant-plane pool program-wide
+// and the arena across processes (segments run sequentially; every process's
+// code begins with its own loads).
+type laneCompiler struct {
+	pr       *program
+	sigIdx   map[*Signal]int32
+	constOff map[lconstKey]int32
+
+	// per-process state
+	narena   int
+	maxArena int
+	loadOff  map[*Signal]int32
+	code     []linstr
+	ok       bool
+}
+
+func newLaneCompiler(pr *program) *laneCompiler {
+	return &laneCompiler{pr: pr, sigIdx: map[*Signal]int32{}, constOff: map[lconstKey]int32{}}
+}
+
+// lMaxArena bounds the shared plane arena; a process whose translation would
+// overflow it falls back to its closure, like the scalar compiler's kMaxIdx.
+const lMaxArena = 1 << 24
+
+func (lc *laneCompiler) alloc(w int) int32 {
+	off := lc.narena
+	lc.narena += w
+	if lc.narena > lMaxArena {
+		lc.ok = false
+		return 0
+	}
+	if lc.narena > lc.maxArena {
+		lc.maxArena = lc.narena
+	}
+	return int32(off)
+}
+
+func (lc *laneCompiler) slot(s *Signal) int32 {
+	if i, hit := lc.sigIdx[s]; hit {
+		return i
+	}
+	i := int32(len(lc.pr.sigs))
+	lc.pr.sigs = append(lc.pr.sigs, s)
+	lc.sigIdx[s] = i
+	return i
+}
+
+// constPlanes materialises a width-masked constant as broadcast planes: a set
+// constant bit is all-ones across lanes. The pool is filled at compile time;
+// constants cost no runtime instructions.
+func (lc *laneCompiler) constPlanes(k Bits, w int) int32 {
+	key := lconstKey{k, w}
+	if off, hit := lc.constOff[key]; hit {
+		return off
+	}
+	base := len(lc.pr.laneConsts)
+	for b := 0; b < w; b++ {
+		word := uint64(0)
+		if k.Bit(b) {
+			word = ^uint64(0)
+		}
+		lc.pr.laneConsts = append(lc.pr.laneConsts, word)
+	}
+	off := int32(-1 - base)
+	lc.constOff[key] = off
+	return off
+}
+
+func (lc *laneCompiler) emit(in linstr) { lc.code = append(lc.code, in) }
+
+// expr translates e and returns the arena (or constant-pool) offset of its
+// plane value.
+func (lc *laneCompiler) expr(e *Expr) int32 {
+	if !lc.ok {
+		return 0
+	}
+	switch e.op {
+	case exRead:
+		if off, hit := lc.loadOff[e.sig]; hit {
+			return off
+		}
+		off := lc.alloc(e.sig.width)
+		lc.emit(linstr{op: kLoad, sig: lc.slot(e.sig), dst: off})
+		lc.loadOff[e.sig] = off
+		return off
+	case exConst:
+		return lc.constPlanes(e.k, e.w)
+	case exAnd, exOr, exXor:
+		a, b := lc.expr(e.a), lc.expr(e.b)
+		off := lc.alloc(e.w)
+		var op kop
+		switch e.op {
+		case exAnd:
+			op = kAnd
+		case exOr:
+			op = kOr
+		default:
+			op = kXor
+		}
+		lc.emit(linstr{op: op, dst: off, a: a, b: b, w: uint16(e.w), wa: uint16(e.a.w), wb: uint16(e.b.w)})
+		return off
+	case exNot:
+		a := lc.expr(e.a)
+		off := lc.alloc(e.w)
+		lc.emit(linstr{op: kNot, dst: off, a: a, w: uint16(e.w), wa: uint16(e.a.w)})
+		return off
+	case exField:
+		a := lc.expr(e.a)
+		off := lc.alloc(e.w)
+		lc.emit(linstr{op: kField, dst: off, a: a, lo: uint16(e.lo), w: uint16(e.w), wa: uint16(e.a.w)})
+		return off
+	case exWithField:
+		a, b := lc.expr(e.a), lc.expr(e.b)
+		off := lc.alloc(e.w)
+		lc.emit(linstr{op: kWithField, dst: off, a: a, b: b, lo: uint16(e.lo), w: uint16(e.w), wa: uint16(e.a.w), wb: uint16(e.b.w)})
+		return off
+	case exMux:
+		s, t, f := lc.expr(e.a), lc.expr(e.b), lc.expr(e.c)
+		off := lc.alloc(e.w)
+		lc.emit(linstr{op: kMux, dst: off, a: s, b: t, c: f, w: uint16(e.w), wa: uint16(e.a.w), wb: uint16(e.b.w), wc: uint16(e.c.w)})
+		return off
+	case exEq, exLt:
+		a, b := lc.expr(e.a), lc.expr(e.b)
+		off := lc.alloc(1)
+		op := kEq
+		if e.op == exLt {
+			op = kLt
+		}
+		lc.emit(linstr{op: op, dst: off, a: a, b: b, w: 1, wa: uint16(e.a.w), wb: uint16(e.b.w)})
+		return off
+	case exAdd:
+		a, b := lc.expr(e.a), lc.expr(e.b)
+		off := lc.alloc(e.w)
+		lc.emit(linstr{op: kAdd, dst: off, a: a, b: b, w: uint16(e.w), wa: uint16(e.a.w), wb: uint16(e.b.w)})
+		return off
+	default:
+		panic(fmt.Sprintf("sim: bad expr op %d", e.op))
+	}
+}
+
+// proc translates one IR-declared process into transposed bytecode. seq
+// selects delta-semantics plane stores.
+func (lc *laneCompiler) proc(p *process, seq bool) ([]linstr, bool) {
+	lc.narena = 0
+	lc.loadOff = map[*Signal]int32{}
+	lc.code = nil
+	lc.ok = true
+	for _, a := range p.ir {
+		if !seq && a.Src.op == exRead {
+			// Peephole: a pure plane-to-plane copy (the stbus.Bind shape).
+			lc.emit(linstr{op: kCopy, sig: lc.slot(a.Dst), sig2: lc.slot(a.Src.sig)})
+			continue
+		}
+		off := lc.expr(a.Src)
+		op := kStore
+		if seq {
+			op = kStoreSeq
+		}
+		lc.emit(linstr{op: op, sig: lc.slot(a.Dst), a: off, wa: uint16(a.Src.w)})
+	}
+	if !lc.ok {
+		return nil, false
+	}
+	return lc.code, true
+}
+
+// lexec interprets transposed bytecode: every operation is a loop of plain
+// word ops over the result planes, evaluating all lanes at once.
+func (sm *Simulator) lexec(code []linstr) {
+	pr := sm.prog
+	arena := pr.laneArena
+	consts := pr.laneConsts
+	sigs := pr.sigs
+	for i := range code {
+		in := &code[i]
+		switch in.op {
+		case kLoad:
+			s := sigs[in.sig]
+			ls := s.ls
+			if !ls.plOK {
+				ls.scatter(s.width)
+			}
+			copy(arena[in.dst:int(in.dst)+s.width], ls.planes[:s.width])
+		case kAnd:
+			for b := 0; b < int(in.w); b++ {
+				arena[int(in.dst)+b] = lw(arena, consts, in.a, b, in.wa) & lw(arena, consts, in.b, b, in.wb)
+			}
+		case kOr:
+			for b := 0; b < int(in.w); b++ {
+				arena[int(in.dst)+b] = lw(arena, consts, in.a, b, in.wa) | lw(arena, consts, in.b, b, in.wb)
+			}
+		case kXor:
+			for b := 0; b < int(in.w); b++ {
+				arena[int(in.dst)+b] = lw(arena, consts, in.a, b, in.wa) ^ lw(arena, consts, in.b, b, in.wb)
+			}
+		case kNot:
+			for b := 0; b < int(in.w); b++ {
+				arena[int(in.dst)+b] = ^lw(arena, consts, in.a, b, in.wa)
+			}
+		case kField:
+			for b := 0; b < int(in.w); b++ {
+				arena[int(in.dst)+b] = lw(arena, consts, in.a, int(in.lo)+b, in.wa)
+			}
+		case kWithField:
+			// Field width is operand b's width, as in the scalar form.
+			for b := 0; b < int(in.w); b++ {
+				if b >= int(in.lo) && b < int(in.lo)+int(in.wb) {
+					arena[int(in.dst)+b] = lw(arena, consts, in.b, b-int(in.lo), in.wb)
+				} else {
+					arena[int(in.dst)+b] = lw(arena, consts, in.a, b, in.wa)
+				}
+			}
+		case kMux:
+			var sel uint64
+			for j := 0; j < int(in.wa); j++ {
+				sel |= lw(arena, consts, in.a, j, in.wa)
+			}
+			for b := 0; b < int(in.w); b++ {
+				t := lw(arena, consts, in.b, b, in.wb)
+				f := lw(arena, consts, in.c, b, in.wc)
+				arena[int(in.dst)+b] = t&sel | f&^sel
+			}
+		case kEq:
+			mw := int(in.wa)
+			if int(in.wb) > mw {
+				mw = int(in.wb)
+			}
+			acc := ^uint64(0)
+			for j := 0; j < mw; j++ {
+				acc &^= lw(arena, consts, in.a, j, in.wa) ^ lw(arena, consts, in.b, j, in.wb)
+			}
+			arena[in.dst] = acc
+		case kLt:
+			// LSB-first unsigned ripple compare: at each plane,
+			// a<b there overrides, equality carries the verdict up.
+			mw := int(in.wa)
+			if int(in.wb) > mw {
+				mw = int(in.wb)
+			}
+			var lt uint64
+			for j := 0; j < mw; j++ {
+				va := lw(arena, consts, in.a, j, in.wa)
+				vb := lw(arena, consts, in.b, j, in.wb)
+				lt = ^va&vb | ^(va^vb)&lt
+			}
+			arena[in.dst] = lt
+		case kAdd:
+			// Ripple-carry over the result width; planes beyond it are the
+			// scalar form's mask.
+			var carry uint64
+			for b := 0; b < int(in.w); b++ {
+				va := lw(arena, consts, in.a, b, in.wa)
+				vb := lw(arena, consts, in.b, b, in.wb)
+				arena[int(in.dst)+b] = va ^ vb ^ carry
+				carry = va&vb | carry&(va^vb)
+			}
+		case kStore:
+			sm.storeLaneComb(sigs[in.sig], arena, consts, in.a, in.wa)
+		case kCopy:
+			src := sigs[in.sig2]
+			if !src.ls.plOK {
+				src.ls.scatter(src.width)
+			}
+			sm.storeLaneComb(sigs[in.sig], src.ls.planes, nil, 0, uint16(src.width))
+		case kStoreSeq:
+			s := sigs[in.sig]
+			ls := s.ls
+			if ls.nextPlanes == nil {
+				ls.nextPlanes = make([]uint64, s.width)
+			}
+			for b := 0; b < s.width; b++ {
+				ls.nextPlanes[b] = lw(arena, consts, in.a, b, in.wa)
+			}
+			if !ls.planePend {
+				ls.planePend = true
+				if !s.pending {
+					s.pending = true
+					sm.pending = append(sm.pending, s)
+				}
+			}
+		}
+	}
+}
+
+// storeLaneComb commits source planes to s immediately — the transposed form
+// of storeComb. Planes beyond the source width store zero (width masking is
+// structural: only s.width planes exist). Wakes follow the per-lane changed
+// mask, so per-lane evaluation counts match scalar runs exactly.
+func (sm *Simulator) storeLaneComb(s *Signal, arena, consts []uint64, off int32, srcW uint16) {
+	ls := s.ls
+	if !ls.plOK {
+		ls.scatter(s.width)
+	}
+	var diff uint64
+	planes := ls.planes
+	for b := 0; b < s.width; b++ {
+		nv := lw(arena, consts, off, b, srcW)
+		if d := planes[b] ^ nv; d != 0 {
+			planes[b] = nv
+			diff |= d
+		}
+	}
+	diff &= sm.laneAll
+	if diff == 0 {
+		return
+	}
+	ls.lvOK = false
+	diff &= sm.activeMask
+	if diff == 0 {
+		return
+	}
+	for _, p := range s.sensitive {
+		if p.fused || p.lane < 0 || diff>>uint(p.lane)&1 != 0 {
+			sm.wake(p)
+		}
+	}
+}
+
+// buildLaneProgram is the lane-mode elaboration of the compiled backend: the
+// per-lane copies of each IR-declared process — grouped by registration
+// ordinal, the position the process holds in its lane's construction sequence
+// — fuse into ONE transposed segment entry compiled from lane 0's IR. The
+// sibling lanes' units are consumed by that entry; closure processes and
+// cyclic SCCs keep their levelized units per lane. Rank order puts lane 0's
+// unit first within each group (lanes register in ascending id order and the
+// per-lane graphs are isomorphic), so a group is always compiled before its
+// siblings are encountered.
+func (sm *Simulator) buildLaneProgram() {
+	pr := &program{}
+	lc := newLaneCompiler(pr)
+
+	combG := map[int][]*process{}
+	for _, p := range sm.combs {
+		if p.lane >= 0 && p.ir != nil {
+			combG[p.ord] = append(combG[p.ord], p)
+		}
+	}
+	// A group fuses when it is complete across lanes and every member is a
+	// singleton acyclic IR unit.
+	fuse := map[*process][]*process{}
+	inFuse := map[*process]bool{}
+	for _, p := range sm.combs {
+		if p.lane != 0 || p.ir == nil {
+			continue
+		}
+		g := combG[p.ord]
+		if len(g) != sm.lanes {
+			continue
+		}
+		ok := true
+		for _, q := range g {
+			u := sm.units[q.unit]
+			if u.cyclic || len(u.procs) != 1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		fuse[p] = g
+		for _, q := range g {
+			inFuse[q] = true
+		}
+	}
+
+	var cur *progSeg
+	flush := func() {
+		if cur != nil {
+			pr.segs = append(pr.segs, cur)
+			cur = nil
+		}
+	}
+	unqueue := func(p *process) {
+		if p.inQ {
+			p.inQ = false
+			sm.units[p.unit].queued--
+			sm.totalQueued--
+		}
+	}
+	for _, u := range sm.units {
+		if len(u.procs) == 1 && inFuse[u.procs[0]] {
+			p := u.procs[0]
+			if p.lane != 0 {
+				// Sibling of an already-compiled group: its segment entry
+				// covers it.
+				unqueue(p)
+				continue
+			}
+			code, ok := lc.proc(p, false)
+			if ok {
+				g := fuse[p]
+				if cur == nil {
+					cur = &progSeg{entIdx: len(pr.sched), dirty: true}
+					pr.sched = append(pr.sched, schedEnt{seg: cur})
+				}
+				cur.lcode = append(cur.lcode, code...)
+				cur.lprocs0++
+				for _, q := range g {
+					cur.procs = append(cur.procs, q)
+					q.fused = true
+					q.seg = cur
+					q.segEnt = cur.entIdx
+					unqueue(q)
+				}
+				pr.fusedProcs += len(g)
+				pr.fusedOps += len(code)
+				continue
+			}
+			// Translation overflow: the whole group falls back to closures.
+			for _, q := range fuse[p] {
+				delete(inFuse, q)
+			}
+			delete(fuse, p)
+		}
+		flush()
+		pr.sched = append(pr.sched, schedEnt{unit: u})
+	}
+	flush()
+
+	// Sequential groups compile to one transposed program on the lane-0
+	// process; the siblings are marked as lane duplicates and skipped by Step.
+	seqG := map[int][]*process{}
+	for _, p := range sm.seqs {
+		if p.lane >= 0 && p.ir != nil {
+			seqG[p.ord] = append(seqG[p.ord], p)
+		}
+	}
+	for _, p := range sm.seqs {
+		if p.lane != 0 || p.ir == nil {
+			continue
+		}
+		g := seqG[p.ord]
+		if len(g) != sm.lanes {
+			continue
+		}
+		code, ok := lc.proc(p, true)
+		if !ok {
+			continue
+		}
+		p.lseqCode = code
+		for _, q := range g {
+			if q != p {
+				q.laneDup = true
+				p.laneSibs = append(p.laneSibs, q)
+			}
+		}
+		pr.fusedProcs += len(g)
+		pr.fusedOps += len(code)
+	}
+
+	pr.laneArena = make([]uint64, lc.maxArena)
+	sm.prog = pr
+}
+
+// runLaneSeg executes one transposed segment: one pass evaluates every
+// member process for every lane. Eval accounting splits machine work
+// (compiledEvals, one per lane-0 process) from lane-equivalent work
+// (fusedLaneEvals, times the active lane count) — their ratio against
+// closureEvals is the divergence rate of Stats.
+func (sm *Simulator) runLaneSeg(seg *progSeg) {
+	if sm.Timing && seg.runs&7 == 0 {
+		t0 := nowNS()
+		sm.lexec(seg.lcode)
+		seg.sampleNS += nowNS() - t0
+	} else {
+		sm.lexec(seg.lcode)
+	}
+	seg.runs++
+	sm.compiledEvals += uint64(seg.lprocs0)
+	sm.fusedLaneEvals += uint64(seg.lprocs0) * uint64(bits.OnesCount64(sm.activeMask))
+}
+
+// runLaneSeqProg executes the transposed program of a sequential group in
+// lane 0's registration slot; the sibling slots are skipped.
+func (sm *Simulator) runLaneSeqProg(p *process) {
+	p.evals++
+	sm.compiledEvals++
+	sm.fusedLaneEvals += uint64(bits.OnesCount64(sm.activeMask))
+	if sm.Timing && p.evals&7 == 1 {
+		t0 := nowNS()
+		sm.lexec(p.lseqCode)
+		p.sampleNS += nowNS() - t0
+		return
+	}
+	sm.lexec(p.lseqCode)
+}

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"testing"
+)
+
+// xorshift64 is the deterministic value stream of the lane tests.
+func xorshift64(s *uint64) uint64 {
+	*s ^= *s << 13
+	*s ^= *s >> 7
+	*s ^= *s << 17
+	return *s
+}
+
+func randomBits(s *uint64, width int) Bits {
+	var w [BitsWords]uint64
+	for i := range w {
+		w[i] = xorshift64(s)
+	}
+	return BWords(w[:]...).Mask(width)
+}
+
+// TestTranspose64 checks the transpose orientation bit by bit against the
+// definition — bit j of word i moves to bit i of word j — and that the
+// routine is an involution.
+func TestTranspose64(t *testing.T) {
+	rng := uint64(0x0123456789abcdef)
+	for trial := 0; trial < 4; trial++ {
+		var a, orig [64]uint64
+		for i := range a {
+			a[i] = xorshift64(&rng)
+		}
+		orig = a
+		transpose64(&a)
+		for i := 0; i < 64; i++ {
+			for j := 0; j < 64; j++ {
+				if a[j]>>uint(i)&1 != orig[i]>>uint(j)&1 {
+					t.Fatalf("trial %d: transposed[%d] bit %d = %d, want original[%d] bit %d = %d",
+						trial, j, i, a[j]>>uint(i)&1, i, j, orig[i]>>uint(j)&1)
+				}
+			}
+		}
+		transpose64(&a)
+		if a != orig {
+			t.Fatalf("trial %d: transpose64 is not an involution", trial)
+		}
+	}
+}
+
+// TestPackUnpackLanes drives the storage transform across the word-boundary
+// width classes and asserts the plane definition directly: plane b bit l ==
+// bit b of lane l's value, zero for lanes beyond the packed set.
+func TestPackUnpackLanes(t *testing.T) {
+	rng := uint64(0xfeedface12345678)
+	for _, width := range []int{1, 7, 63, 64, 65, 128, 191, 255, 256} {
+		for _, lanes := range []int{1, 2, 63, 64} {
+			vals := make([]Bits, lanes)
+			for l := range vals {
+				vals[l] = randomBits(&rng, width)
+			}
+			planes := PackLanes(vals, width)
+			if len(planes) != width {
+				t.Fatalf("w=%d lanes=%d: PackLanes returned %d planes", width, lanes, len(planes))
+			}
+			for b := 0; b < width; b++ {
+				for l := 0; l < lanes; l++ {
+					if planes[b]>>uint(l)&1 == 1 != vals[l].Bit(b) {
+						t.Fatalf("w=%d lanes=%d: plane %d bit %d = %d, lane value bit = %v",
+							width, lanes, b, l, planes[b]>>uint(l)&1, vals[l].Bit(b))
+					}
+				}
+				if lanes < 64 && planes[b]>>uint(lanes) != 0 {
+					t.Fatalf("w=%d lanes=%d: plane %d has bits above the lane count: %#x",
+						width, lanes, b, planes[b])
+				}
+			}
+			back := UnpackLanes(planes, width, lanes)
+			for l := range back {
+				if !back[l].Equal(vals[l]) {
+					t.Fatalf("w=%d lanes=%d: lane %d roundtrip %v != %v", width, lanes, l, back[l], vals[l])
+				}
+			}
+		}
+	}
+}
+
+// laneObs records what one lane's testbench observes: per-cycle sampled
+// values via a cycle-end hook, and the evaluation count of its comb closure.
+// Identical scalar and lane-mode observations are the per-lane equivalence
+// the lane runner promises.
+type laneObs struct {
+	out   []uint64
+	acc   []uint64
+	bind  []uint64
+	evals int
+}
+
+// buildMixedBench constructs one lane (or scalar) copy of a small design that
+// crosses every execution form: a per-lane closure Seq driver, a fusable IR
+// comb, the plane-copy bind shape, a closure comb, a fusable IR seq
+// accumulator, and a cycle-end observation hook.
+func buildMixedBench(sm *Simulator, seed uint64, obs *laneObs) {
+	a := sm.Signal("a", 8)
+	b := sm.Signal("b", 8)
+	bind := sm.Signal("bind", 8)
+	out := sm.Signal("out", 8)
+	acc := sm.Signal("acc", 16)
+	rng := seed
+	sm.Seq("drv", func() {
+		a.SetU64(xorshift64(&rng))
+	})
+	sm.CombExpr("b", Assign{Dst: b, Src: Read(a).Xor(ConstU64(0x5a, 8))})
+	sm.CombExpr("bind", Assign{Dst: bind, Src: Read(b)})
+	sm.CombOut("oc", func() {
+		obs.evals++
+		out.SetU64(b.U64()&0x3f | 1)
+	}, []*Signal{out}, b)
+	sm.SeqExpr("acc", Assign{Dst: acc, Src: Read(acc).Add(Read(out)).Field(0, 16)})
+	sm.AtCycleEnd(func() {
+		obs.out = append(obs.out, out.U64())
+		obs.acc = append(obs.acc, acc.U64())
+		obs.bind = append(obs.bind, bind.U64())
+	})
+}
+
+func (o *laneObs) diff(ref *laneObs) string {
+	if o.evals != ref.evals {
+		return "comb closure eval count"
+	}
+	if len(o.out) != len(ref.out) {
+		return "observation count"
+	}
+	for i := range o.out {
+		if o.out[i] != ref.out[i] || o.acc[i] != ref.acc[i] || o.bind[i] != ref.bind[i] {
+			return "sampled values"
+		}
+	}
+	return ""
+}
+
+// TestLaneMatchesScalar is the per-lane equivalence property at the sim
+// layer: every lane of a lane-parallel run observes — through hooks, closure
+// reads, and closure evaluation counts — exactly what a scalar run of the
+// same seed observes, under both kernels.
+func TestLaneMatchesScalar(t *testing.T) {
+	const cycles = 50
+	for _, k := range []Kernel{KernelLevelized, KernelCompiled} {
+		for _, lanes := range []int{2, 7, 64} {
+			lsm := New()
+			lsm.Kernel = k
+			lsm.SetLanes(lanes)
+			lobs := make([]laneObs, lanes)
+			for l := 0; l < lanes; l++ {
+				lsm.BeginLane(l)
+				buildMixedBench(lsm, uint64(l)*0x9e3779b9+1, &lobs[l])
+			}
+			lsm.EndBuild()
+			for c := 0; c < cycles; c++ {
+				if err := lsm.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for l := 0; l < lanes; l++ {
+				ssm := New()
+				ssm.Kernel = k
+				var sobs laneObs
+				buildMixedBench(ssm, uint64(l)*0x9e3779b9+1, &sobs)
+				for c := 0; c < cycles; c++ {
+					if err := ssm.Step(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if d := lobs[l].diff(&sobs); d != "" {
+					t.Fatalf("kernel %v lanes %d: lane %d diverges from scalar run: %s", k, lanes, l, d)
+				}
+			}
+			ks := lsm.Stats()
+			if ks.Lanes != lanes {
+				t.Errorf("kernel %v: stats lanes = %d, want %d", k, ks.Lanes, lanes)
+			}
+			if k == KernelCompiled {
+				if ks.FusedLaneEvals == 0 {
+					t.Errorf("compiled lane run fused no lane evals: %+v", ks)
+				}
+				if dr := ks.DivergenceRate(); dr <= 0 || dr >= 1 {
+					t.Errorf("divergence rate %v outside (0,1) for a mixed closure/IR bench", dr)
+				}
+			} else if ks.FusedLaneEvals != 0 {
+				t.Errorf("levelized lane run reported fused lane evals: %+v", ks)
+			}
+		}
+	}
+}
+
+// TestLaneRetire retires one lane mid-run: its closures and hooks stop, its
+// observations freeze, and the surviving lanes keep matching their scalar
+// references — lane independence under a partially active mask.
+func TestLaneRetire(t *testing.T) {
+	const lanes, cutover, cycles = 4, 20, 50
+	lsm := New()
+	lsm.Kernel = KernelCompiled
+	lsm.SetLanes(lanes)
+	lobs := make([]laneObs, lanes)
+	for l := 0; l < lanes; l++ {
+		lsm.BeginLane(l)
+		buildMixedBench(lsm, uint64(l)+11, &lobs[l])
+	}
+	lsm.EndBuild()
+	for c := 0; c < cycles; c++ {
+		if c == cutover {
+			lsm.SetLaneActive(1, false)
+			if lsm.LaneActive(1) || lsm.ActiveMask() != 0b1101 {
+				t.Fatalf("retire bookkeeping: active(1)=%v mask=%#b", lsm.LaneActive(1), lsm.ActiveMask())
+			}
+		}
+		if err := lsm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(lobs[1].out); got != cutover {
+		t.Errorf("retired lane kept observing: %d samples, want %d", got, cutover)
+	}
+	for _, l := range []int{0, 2, 3} {
+		ssm := New()
+		ssm.Kernel = KernelCompiled
+		var sobs laneObs
+		buildMixedBench(ssm, uint64(l)+11, &sobs)
+		for c := 0; c < cycles; c++ {
+			if err := ssm.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := lobs[l].diff(&sobs); d != "" {
+			t.Fatalf("surviving lane %d diverges from scalar after a sibling retired: %s", l, d)
+		}
+	}
+}
+
+// TestLaneConstructionChecks pins the construction-protocol panics: lane
+// counts outside 2..64, enabling lanes after construction began, and a lane
+// whose build diverges from lane 0's.
+func TestLaneConstructionChecks(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("SetLanes(1)", func() { New().SetLanes(1) })
+	expectPanic("SetLanes(65)", func() { New().SetLanes(65) })
+	expectPanic("SetLanes after signal", func() {
+		sm := New()
+		sm.Signal("x", 1)
+		sm.SetLanes(2)
+	})
+	expectPanic("diverging lane build", func() {
+		sm := New()
+		sm.SetLanes(2)
+		sm.BeginLane(0)
+		sm.Signal("x", 8)
+		sm.BeginLane(1)
+		sm.Signal("y", 8)
+	})
+	expectPanic("diverging width", func() {
+		sm := New()
+		sm.SetLanes(2)
+		sm.BeginLane(0)
+		sm.Signal("x", 8)
+		sm.BeginLane(1)
+		sm.Signal("x", 9)
+	})
+	expectPanic("extra lane signal", func() {
+		sm := New()
+		sm.SetLanes(2)
+		sm.BeginLane(0)
+		sm.Signal("x", 8)
+		sm.BeginLane(1)
+		sm.Signal("x", 8)
+		sm.Signal("z", 8)
+	})
+}
+
+// FuzzLaneEval cross-checks the transposed bytecode interpreter against the
+// scalar backends: a random expression evaluated for every lane at once over
+// per-lane random inputs must match, lane for lane, a scalar simulation fed
+// the same values.
+func FuzzLaneEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0, 1, 11, 0, 1})
+	f.Add([]byte{7, 5, 0, 200, 40, 8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{63, 11, 11, 0, 0, 255, 255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nin = 3
+		hdr := &fuzzCursor{data: data}
+		lanes := 2 + hdr.intn(63)
+		var widths [nin]int
+		for i := range widths {
+			widths[i] = fuzzWidths[hdr.intn(len(fuzzWidths))]
+		}
+		rng := uint64(1)
+		for i := 0; i < 8; i++ {
+			rng = rng<<8 | uint64(hdr.byte())
+		}
+		rng |= 1
+		laneVals := make([][nin]Bits, lanes)
+		for l := range laneVals {
+			for i := 0; i < nin; i++ {
+				laneVals[l][i] = randomBits(&rng, widths[i])
+			}
+		}
+		body := data[hdr.pos:]
+
+		sm := New()
+		sm.Kernel = KernelCompiled
+		sm.SetLanes(lanes)
+		var out *Signal
+		for l := 0; l < lanes; l++ {
+			sm.BeginLane(l)
+			sigs := make([]*Signal, nin)
+			for i := range sigs {
+				sigs[i] = sm.Signal("in", widths[i])
+			}
+			e := genExpr(&fuzzCursor{data: body}, sigs, 4)
+			out = sm.Signal("out", e.Width())
+			sm.CombExpr("dut", Assign{Dst: out, Src: e})
+			vals := laneVals[l]
+			sm.Seq("drv", func() {
+				for i, s := range sigs {
+					s.Set(vals[i])
+				}
+			})
+		}
+		sm.EndBuild()
+		if err := sm.Step(); err != nil {
+			t.Fatal(err)
+		}
+
+		for l := 0; l < lanes; l++ {
+			ssm := New()
+			ssm.Kernel = KernelLevelized
+			sigs := make([]*Signal, nin)
+			for i := range sigs {
+				sigs[i] = ssm.Signal("in", widths[i])
+			}
+			se := genExpr(&fuzzCursor{data: body}, sigs, 4)
+			sout := ssm.Signal("out", se.Width())
+			ssm.CombExpr("dut", Assign{Dst: sout, Src: se})
+			vals := laneVals[l]
+			ssm.Seq("drv", func() {
+				for i, s := range sigs {
+					s.Set(vals[i])
+				}
+			})
+			if err := ssm.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := out.GetLane(l), sout.Get(); !got.Equal(want) {
+				t.Errorf("lane %d/%d: transposed eval = %v, scalar reference = %v", l, lanes, got, want)
+			}
+		}
+		if ks := sm.Stats(); ks.FusedLaneEvals == 0 || ks.Lanes != lanes {
+			t.Errorf("expression group did not fuse across lanes: %+v", ks)
+		}
+	})
+}

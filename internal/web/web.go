@@ -17,6 +17,7 @@ import (
 	"crve/internal/coverage"
 	"crve/internal/jobs"
 	"crve/internal/regress"
+	"crve/internal/sim"
 )
 
 //go:embed templates/*.html
@@ -88,6 +89,14 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 			spec.Seeds = append(spec.Seeds, n)
 		}
 	}
+	if ln := strings.TrimSpace(r.Form.Get("lanes")); ln != "" {
+		n, err := strconv.Atoi(ln)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad lanes %q", ln), http.StatusBadRequest)
+			return
+		}
+		spec.Lanes = n
+	}
 	if cfg := strings.TrimSpace(r.Form.Get("config")); cfg != "" {
 		spec.Configs = []string{cfg}
 	}
@@ -129,6 +138,20 @@ type trajIter struct {
 	Cycles  uint64
 }
 
+// kernelRow is one (config, view) merged kernel profile for the dashboard's
+// kernel table; lane columns light up only for lane-parallel runs.
+type kernelRow struct {
+	Name          string
+	View          string
+	Runs          int
+	Cycles        uint64
+	CompiledEvals uint64
+	ClosureEvals  uint64
+	Lanes         int
+	FusedEvals    uint64
+	DivergencePct float64
+}
+
 type trajRow struct {
 	Config       string
 	Reason       string
@@ -144,6 +167,7 @@ type jobData struct {
 	Live     bool
 	Percent  float64
 	Configs  []cfgRow
+	Kernels  []kernelRow
 	Closures []trajRow
 	Waves    []string
 	LogTail  string
@@ -179,6 +203,36 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		data.Configs = append(data.Configs, row)
+		for _, view := range []string{"RTL", "BCA"} {
+			merged := &sim.KernelStats{}
+			n := 0
+			for _, run := range cr.Runs {
+				res := run.Pair.RTL
+				if view == "BCA" {
+					res = run.Pair.BCA
+				}
+				if res.Kernel == nil {
+					continue
+				}
+				merged.Merge(res.Kernel)
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			kr := kernelRow{
+				Name: cr.Cfg.Name, View: view, Runs: n,
+				Cycles:        merged.Cycles,
+				CompiledEvals: merged.CompiledEvals,
+				ClosureEvals:  merged.ClosureEvals,
+				Lanes:         merged.Lanes,
+				FusedEvals:    merged.FusedLaneEvals,
+			}
+			if merged.Lanes > 0 {
+				kr.DivergencePct = merged.DivergenceRate() * 100
+			}
+			data.Kernels = append(data.Kernels, kr)
+		}
 	}
 	for _, traj := range job.Closures() {
 		tr := trajRow{
